@@ -1,0 +1,27 @@
+.PHONY: all build test bench bench-quick examples clean
+
+all: build
+
+build:
+	dune build @all
+
+test:
+	dune runtest
+
+# Regenerate every table and figure of the paper (~40 min single-core).
+bench:
+	dune exec bench/main.exe
+
+bench-quick:
+	QUICK=1 dune exec bench/main.exe
+
+examples:
+	dune exec examples/quickstart.exe
+	dune exec examples/timeline_demo.exe
+	dune exec examples/reclaimer_shootout.exe
+	dune exec examples/af_tuning.exe
+	dune exec examples/custom_structure.exe
+	dune exec examples/multicore_offheap.exe
+
+clean:
+	dune clean

@@ -1,0 +1,91 @@
+(* Bechamel micro-benchmarks of the primitives underlying every table: the
+   allocator fast paths, the flush slow path, reclaimer bookkeeping and data
+   structure operations. These measure *host* performance of the simulator
+   itself (how fast the reproduction runs), complementing the virtual-time
+   results above. One Test.make per primitive family. *)
+
+open Bechamel
+open Toolkit
+
+let make_world () =
+  let sched =
+    Simcore.Sched.create ~topology:Simcore.Topology.intel_192t ~n_threads:4 ~seed:11 ()
+  in
+  let alloc = Alloc.Registry.make "jemalloc" sched in
+  (sched, alloc)
+
+(* Run a closure inside a simulated thread once per invocation. *)
+let staged f =
+  let sched, alloc = make_world () in
+  let th = Simcore.Sched.thread sched 0 in
+  (* Spawn a long-lived fiber? Simpler: drive the body directly with a
+     one-shot scheduler run per measurement batch. *)
+  fun () ->
+    Simcore.Sched.spawn sched th (fun th -> f alloc th);
+    Simcore.Sched.run sched
+
+let test_alloc_free =
+  Test.make ~name:"sim malloc+free (tcache hit)"
+    (Staged.stage
+       (staged (fun alloc th ->
+            for _ = 1 to 100 do
+              let h = alloc.Alloc.Alloc_intf.malloc th 240 in
+              alloc.Alloc.Alloc_intf.free th h
+            done)))
+
+let test_batch_free =
+  Test.make ~name:"sim batch free (flush path)"
+    (Staged.stage
+       (staged (fun alloc th ->
+            let handles = Array.init 256 (fun _ -> alloc.Alloc.Alloc_intf.malloc th 240) in
+            Array.iter (alloc.Alloc.Alloc_intf.free th) handles)))
+
+let test_abtree_ops =
+  Test.make ~name:"sim abtree insert+delete"
+    (Staged.stage
+       (staged (fun alloc th ->
+            let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 10 } in
+            let ds = Ds.Abtree.make ctx th in
+            for k = 0 to 199 do
+              ignore (ds.Ds.Ds_intf.insert th (k * 37 mod 256))
+            done;
+            for k = 0 to 199 do
+              ignore (ds.Ds.Ds_intf.delete th (k * 37 mod 256))
+            done)))
+
+let test_smr_cycle =
+  Test.make ~name:"sim debra retire cycle"
+    (Staged.stage
+       (staged (fun alloc th ->
+            let sched = th.Simcore.Sched.sched in
+            let policy =
+              Smr.Free_policy.create ~mode:(Smr.Free_policy.Amortized 1) ~alloc
+                ~n:(Simcore.Sched.n_threads sched) ()
+            in
+            let ctx = { Smr.Smr_intf.sched; alloc; policy; safety = None } in
+            let smr = Smr.Epoch_based.debra ctx in
+            for _ = 1 to 100 do
+              smr.Smr.Smr_intf.begin_op th;
+              smr.Smr.Smr_intf.retire th (alloc.Alloc.Alloc_intf.malloc th 240);
+              smr.Smr.Smr_intf.end_op th
+            done)))
+
+let run () =
+  Exp.section "Micro-benchmarks (Bechamel; host-time cost of simulator primitives)";
+  let tests = [ test_alloc_free; test_batch_free; test_abtree_ops; test_smr_cycle ] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 300) () in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed =
+        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
+          Instance.monotonic_clock results
+      in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        analyzed)
+    tests

@@ -1,0 +1,254 @@
+(* Command line interface: run a single experiment configuration and print
+   its results, optionally with timeline graphs and garbage traces.
+
+     dune exec bin/epochs.exe -- run --ds abtree --smr token_af --threads 192
+     dune exec bin/epochs.exe -- sweep --smr debra,debra_af --threads 48,96,192
+     dune exec bin/epochs.exe -- list
+
+   The full paper reproduction lives in bench/main.exe; this tool is for
+   exploring individual configurations. *)
+
+open Cmdliner
+
+let ds_arg =
+  Arg.(value & opt string "abtree" & info [ "ds" ] ~docv:"NAME" ~doc:"Data structure (abtree, occtree, dgt, skiplist, list).")
+
+let smr_arg =
+  Arg.(
+    value
+    & opt string "debra"
+    & info [ "smr" ] ~docv:"NAME"
+        ~doc:"Reclaimer; append _af for amortized freeing (e.g. token_af).")
+
+let alloc_arg =
+  Arg.(value & opt string "jemalloc" & info [ "alloc" ] ~docv:"NAME" ~doc:"Allocator model (jemalloc, tcmalloc, mimalloc, leak).")
+
+let threads_arg =
+  Arg.(value & opt int 48 & info [ "threads"; "n" ] ~docv:"N" ~doc:"Simulated thread count.")
+
+let machine_arg =
+  Arg.(value & opt string "intel" & info [ "machine" ] ~docv:"NAME" ~doc:"Machine model (intel, intel144, amd).")
+
+let keys_arg =
+  Arg.(value & opt int (1 lsl 14) & info [ "keys" ] ~docv:"K" ~doc:"Key range.")
+
+let duration_arg =
+  Arg.(value & opt int 30 & info [ "duration" ] ~docv:"MS" ~doc:"Measured window, virtual milliseconds.")
+
+let trials_arg = Arg.(value & opt int 1 & info [ "trials" ] ~docv:"T" ~doc:"Trials per configuration.")
+let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"S" ~doc:"Random seed.")
+let validate_arg = Arg.(value & flag & info [ "validate" ] ~doc:"Enable the grace-period safety validator.")
+let timeline_arg = Arg.(value & flag & info [ "timeline" ] ~doc:"Record and print timeline graphs.")
+let garbage_arg = Arg.(value & flag & info [ "garbage" ] ~doc:"Print the garbage-per-epoch trace.")
+
+let drain_arg =
+  Arg.(value & opt int 1 & info [ "af-drain" ] ~docv:"K" ~doc:"Objects freed per operation under AF.")
+
+let svg_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "svg" ] ~docv:"PATH"
+        ~doc:"With --timeline, also write the reclamation timeline as an SVG figure to $(docv).")
+
+let zipf_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "zipf" ] ~docv:"THETA" ~doc:"Zipf-skew the key distribution with exponent $(docv).")
+
+let config ds smr alloc threads machine keys duration trials seed validate timeline af_drain zipf =
+  let topology =
+    match Simcore.Topology.by_name machine with
+    | Some t -> t
+    | None -> failwith (Printf.sprintf "unknown machine %S" machine)
+  in
+  {
+    Runtime.Config.default with
+    Runtime.Config.ds;
+    smr;
+    alloc;
+    threads;
+    topology;
+    key_range = keys;
+    duration_ns = duration * 1_000_000;
+    grace_ns = duration * 1_000_000;
+    trials;
+    seed;
+    validate;
+    timeline;
+    af_drain;
+    key_dist =
+      (match zipf with None -> Runtime.Config.Uniform | Some theta -> Runtime.Config.Zipf theta);
+  }
+
+let maybe_write_svg (t : Runtime.Trial.t) = function
+  | None -> ()
+  | Some path -> (
+      match t.Runtime.Trial.timeline_reclaim with
+      | Some tl ->
+          Timeline.Svg.write_file path
+            (Timeline.Svg.render ~title:t.Runtime.Trial.config_label
+               ~t0:t.Runtime.Trial.measure_start ~t1:t.Runtime.Trial.deadline tl);
+          Printf.printf "timeline figure written to %s\n" path
+      | None -> prerr_endline "--svg requires --timeline")
+
+let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
+  Printf.printf "%s\n" t.Runtime.Trial.config_label;
+  Printf.printf "  throughput     %s ops/s (%d ops in %.1f ms)\n"
+    (Report.Table.mops t.Runtime.Trial.throughput)
+    t.Runtime.Trial.ops
+    (float_of_int t.Runtime.Trial.duration_ns /. 1e6);
+  Printf.printf "  peak memory    %s mapped, %s live\n"
+    (Report.Table.bytes t.Runtime.Trial.peak_mapped_bytes)
+    (Report.Table.bytes t.Runtime.Trial.peak_live_bytes);
+  Printf.printf "  freed          %s objects (%s retired, %s allocated)\n"
+    (Report.Table.count t.Runtime.Trial.freed)
+    (Report.Table.count t.Runtime.Trial.retired)
+    (Report.Table.count t.Runtime.Trial.allocs);
+  Printf.printf "  epochs         %d   end garbage %s\n" t.Runtime.Trial.epochs
+    (Report.Table.count t.Runtime.Trial.end_garbage);
+  Printf.printf "  %%free %.1f  %%flush %.1f  %%lock %.1f  %%ds %.1f\n"
+    t.Runtime.Trial.pct_free t.Runtime.Trial.pct_flush t.Runtime.Trial.pct_lock
+    t.Runtime.Trial.pct_ds;
+  Printf.printf "  op latency     p50 %s  p99 %s  p99.9 %s  max %s\n"
+    (Report.Table.count (Runtime.Trial.op_p t 50.))
+    (Report.Table.count (Runtime.Trial.op_p t 99.))
+    (Report.Table.count (Runtime.Trial.op_p t 99.9))
+    (Report.Table.count (Simcore.Histogram.max_value t.Runtime.Trial.op_hist));
+  Printf.printf "  final size     %d   violations %d\n" t.Runtime.Trial.final_size
+    t.Runtime.Trial.violations;
+  if garbage then begin
+    Printf.printf "  garbage by epoch:\n";
+    List.iter
+      (fun (e, c) -> Printf.printf "    epoch %4d: %s\n" e (Report.Table.count c))
+      t.Runtime.Trial.garbage_by_epoch
+  end;
+  if timeline then begin
+    (match t.Runtime.Trial.timeline_reclaim with
+    | Some tl when Timeline.total_events tl > 0 ->
+        Printf.printf "\n  batch reclamation timeline (measured window):\n%s\n"
+          (Timeline.render ~t0:t.Runtime.Trial.measure_start ~t1:t.Runtime.Trial.deadline tl)
+    | Some _ | None -> ());
+    match t.Runtime.Trial.timeline_free with
+    | Some tl when Timeline.total_events tl > 0 ->
+        Printf.printf "\n  individual free calls >= %s:\n%s\n" "1us"
+          (Timeline.render ~t0:t.Runtime.Trial.measure_start ~t1:t.Runtime.Trial.deadline tl)
+    | Some _ | None -> ()
+  end
+
+let run_cmd =
+  let run ds smr alloc threads machine keys duration trials seed validate timeline garbage
+      af_drain zipf svg =
+    let cfg =
+      config ds smr alloc threads machine keys duration trials seed validate timeline af_drain
+        zipf
+    in
+    let trials = Runtime.Runner.run cfg in
+    List.iter (print_trial ~timeline ~garbage) trials;
+    (match trials with t :: _ -> maybe_write_svg t svg | [] -> ());
+    if List.length trials > 1 then begin
+      let s = Runtime.Trial.throughput_summary trials in
+      Printf.printf "mean throughput %s (min %s, max %s)\n"
+        (Report.Table.mops s.Runtime.Trial.mean)
+        (Report.Table.mops s.Runtime.Trial.min)
+        (Report.Table.mops s.Runtime.Trial.max)
+    end
+  in
+  Cmd.v (Cmd.info "run" ~doc:"Run one configuration.")
+    Term.(
+      const run $ ds_arg $ smr_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
+      $ duration_arg $ trials_arg $ seed_arg $ validate_arg $ timeline_arg $ garbage_arg
+      $ drain_arg $ zipf_arg $ svg_arg)
+
+let comma_list s = String.split_on_char ',' s |> List.map String.trim
+
+let sweep_cmd =
+  let smrs_arg =
+    Arg.(value & opt string "debra,debra_af,token_af" & info [ "smr" ] ~docv:"NAMES" ~doc:"Comma-separated reclaimers.")
+  in
+  let threads_list_arg =
+    Arg.(value & opt string "12,24,48,96,144,192" & info [ "threads" ] ~docv:"NS" ~doc:"Comma-separated thread counts.")
+  in
+  let run ds smrs alloc threads_list machine keys duration trials seed =
+    let smrs = comma_list smrs in
+    let threads = comma_list threads_list |> List.map int_of_string in
+    let table = Report.Table.create ("smr \\ n" :: List.map string_of_int threads) in
+    List.iter
+      (fun smr ->
+        let row =
+          List.map
+            (fun n ->
+              let cfg =
+                config ds smr alloc n machine keys duration trials seed false false 1 None
+              in
+              let trials = Runtime.Runner.run cfg in
+              let s = Runtime.Trial.throughput_summary trials in
+              Report.Table.mops s.Runtime.Trial.mean)
+            threads
+        in
+        Report.Table.add_row table (smr :: row))
+      smrs;
+    print_string (Report.Table.render table)
+  in
+  Cmd.v (Cmd.info "sweep" ~doc:"Throughput sweep over thread counts and reclaimers.")
+    Term.(
+      const run $ ds_arg $ smrs_arg $ alloc_arg $ threads_list_arg $ machine_arg $ keys_arg
+      $ duration_arg $ trials_arg $ seed_arg)
+
+let compare_cmd =
+  let smr_a = Arg.(value & pos 0 string "debra" & info [] ~docv:"SMR_A") in
+  let smr_b = Arg.(value & pos 1 string "debra_af" & info [] ~docv:"SMR_B") in
+  let run smr_a smr_b ds alloc threads machine keys duration trials seed =
+    let mk smr =
+      let cfg = config ds smr alloc threads machine keys duration trials seed false false 1 None in
+      List.hd (Runtime.Runner.run cfg)
+    in
+    let a = mk smr_a and b = mk smr_b in
+    let row label f g =
+      Printf.printf "%-16s %14s %14s
+" label (f a) (g a b)
+    in
+    Printf.printf "%-16s %14s %14s
+" "" smr_a smr_b;
+    Printf.printf "%s
+" (String.make 46 '-');
+    let t (x : Runtime.Trial.t) = Report.Table.mops x.Runtime.Trial.throughput in
+    row "ops/s" t (fun _ b -> t b);
+    row "%free"
+      (fun x -> Report.Table.pct x.Runtime.Trial.pct_free)
+      (fun _ b -> Report.Table.pct b.Runtime.Trial.pct_free);
+    row "%lock"
+      (fun x -> Report.Table.pct x.Runtime.Trial.pct_lock)
+      (fun _ b -> Report.Table.pct b.Runtime.Trial.pct_lock);
+    row "peak memory"
+      (fun x -> Report.Table.bytes x.Runtime.Trial.peak_mapped_bytes)
+      (fun _ b -> Report.Table.bytes b.Runtime.Trial.peak_mapped_bytes);
+    row "op p99.9"
+      (fun x -> Report.Table.count (Runtime.Trial.op_p x 99.9))
+      (fun _ b -> Report.Table.count (Runtime.Trial.op_p b 99.9));
+    Printf.printf "
+%s is %.2fx the throughput of %s
+" smr_b
+      (b.Runtime.Trial.throughput /. a.Runtime.Trial.throughput)
+      smr_a
+  in
+  Cmd.v (Cmd.info "compare" ~doc:"Compare two reclaimers on the same configuration.")
+    Term.(
+      const run $ smr_a $ smr_b $ ds_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
+      $ duration_arg $ trials_arg $ seed_arg)
+
+let list_cmd =
+  let run () =
+    Printf.printf "data structures: %s\n" (String.concat ", " Ds.Ds_registry.names);
+    Printf.printf "reclaimers:      %s (+ _af variants)\n" (String.concat ", " Smr.Smr_registry.names);
+    Printf.printf "allocators:      %s\n" (String.concat ", " Alloc.Registry.names);
+    Printf.printf "machines:        %s\n"
+      (String.concat ", " (List.map (fun t -> t.Simcore.Topology.name) Simcore.Topology.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available components.") Term.(const run $ const ())
+
+let () =
+  let doc = "Epoch-based reclamation vs allocator interaction simulator" in
+  let info = Cmd.info "epochs" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; compare_cmd; list_cmd ]))

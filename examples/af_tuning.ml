@@ -1,0 +1,38 @@
+(* Tuning amortized freeing (paper §7): the drain rate should match the
+   data structure's allocation rate.
+
+     dune exec examples/af_tuning.exe
+
+   The DGT external BST allocates two nodes per successful update — twice
+   the ABtree's rate — so its ideal drain rate is higher. This example
+   sweeps the drain rate for both structures and shows where each peaks,
+   reproducing the paper's closing guidance. *)
+
+let sweep ds =
+  Printf.printf "%s (allocates ~%.1f objects per update):\n" ds
+    (match ds with "dgt" -> 2.0 | _ -> 1.1);
+  List.iter
+    (fun k ->
+      let config =
+        {
+          Runtime.Config.default with
+          Runtime.Config.ds;
+          smr = "token_af";
+          threads = 96;
+          key_range = 8192;
+          duration_ns = 15_000_000;
+          grace_ns = 15_000_000;
+          trials = 1;
+          af_drain = k;
+        }
+      in
+      let t = Runtime.Runner.run_trial config ~seed:9 in
+      Printf.printf "  drain %2d objects/op: %8s ops/s, end garbage %8s\n%!" k
+        (Report.Table.mops t.Runtime.Trial.throughput)
+        (Report.Table.count t.Runtime.Trial.end_garbage))
+    [ 1; 2; 4; 8 ];
+  print_newline ()
+
+let () =
+  sweep "abtree";
+  sweep "dgt"

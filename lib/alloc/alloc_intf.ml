@@ -1,0 +1,83 @@
+(* Common interface implemented by every allocator model.
+
+   An allocator hands out integer object handles. [malloc] and [free] run in
+   the context of a simulated thread: they advance its virtual clock, take
+   virtual locks, and update its metrics. The [free] entry point is
+   instrumented so that the latency of each individual free call — the
+   paper's central observable — is recorded in the calling thread's
+   histogram and reported to its timeline hooks. *)
+
+open Simcore
+
+type config = {
+  tcache_cap : int;  (* thread cache capacity per size class *)
+  flush_fraction : float;  (* fraction of the cache evicted on overflow *)
+  refill_batch : int;  (* objects moved per cache refill *)
+  page_bytes : int;  (* granularity of fresh memory from the OS *)
+}
+
+(* The thread-cache capacity matches JEmalloc's cache for the ABtree's
+   240-byte size class (cache bins shrink as object size grows); the flush
+   fraction is the "approximately 3/4" of paper §3.2. *)
+let default_config =
+  { tcache_cap = 48; flush_fraction = 0.75; refill_batch = 32; page_bytes = 4096 }
+
+type t = {
+  name : string;
+  table : Obj_table.t;
+  malloc : Sched.thread -> int -> int;  (* size in bytes -> handle *)
+  free : Sched.thread -> int -> unit;
+  (* Objects currently sitting in caches/bins, available for reuse. *)
+  cached_objects : unit -> int;
+}
+
+(* Build the public [t] from an allocator's raw entry points, adding the
+   instrumentation shared by all models:
+   - [malloc] marks the handle live and counts the allocation;
+   - [free] marks it dead, sets the [in_free] flag for inclusive time
+     accounting, times the call and reports it. *)
+let instrument ~name ~table ~raw_malloc ~raw_free ~cached_objects =
+  let malloc (th : Sched.thread) size =
+    let h = raw_malloc th size in
+    Obj_table.mark_live table h;
+    th.Sched.metrics.Metrics.allocs <- th.Sched.metrics.Metrics.allocs + 1;
+    h
+  in
+  let free (th : Sched.thread) h =
+    Obj_table.mark_dead table h;
+    let start = Sched.now th in
+    th.Sched.in_free <- true;
+    (try raw_free th h
+     with e ->
+       th.Sched.in_free <- false;
+       raise e);
+    th.Sched.in_free <- false;
+    let stop = Sched.now th in
+    Histogram.add th.Sched.metrics.Metrics.free_call_hist (stop - start);
+    th.Sched.metrics.Metrics.frees <- th.Sched.metrics.Metrics.frees + 1;
+    th.Sched.hooks.Sched.on_free_call ~start ~stop
+  in
+  { name; table; malloc; free; cached_objects }
+
+(* Sort a batch of handles by their home bin (stable on insertion order), so
+   flushes visit each bin once and the simulation is deterministic. Returns
+   runs of (home, handles). *)
+let group_by_home table batch =
+  let n = Array.length batch in
+  let keyed = Array.mapi (fun i h -> (Obj_table.home table h, i, h)) batch in
+  Array.sort
+    (fun (a, i, _) (b, j, _) -> if a <> b then compare a b else compare i j)
+    keyed;
+  let runs = ref [] in
+  let i = ref 0 in
+  while !i < n do
+    let home, _, _ = keyed.(!i) in
+    let objs = ref [] in
+    while !i < n && (let h, _, _ = keyed.(!i) in h) = home do
+      let _, _, o = keyed.(!i) in
+      objs := o :: !objs;
+      incr i
+    done;
+    runs := (home, List.rev !objs) :: !runs
+  done;
+  List.rev !runs

@@ -1,0 +1,42 @@
+(** Common interface of the allocator models.
+
+    [malloc]/[free] run in the context of a simulated thread: they advance
+    its virtual clock, take virtual locks and update its metrics. [free] is
+    instrumented so every individual call's latency — the paper's central
+    observable — lands in the thread's histogram and timeline hooks. *)
+
+open Simcore
+
+type config = {
+  tcache_cap : int;  (** thread-cache capacity per size class *)
+  flush_fraction : float;  (** fraction evicted on overflow (paper: ~3/4) *)
+  refill_batch : int;  (** objects moved per cache refill *)
+  page_bytes : int;  (** granularity of fresh memory *)
+}
+
+val default_config : config
+(** Calibrated to JEmalloc's cache for the ABtree's 240-byte class. *)
+
+type t = {
+  name : string;
+  table : Obj_table.t;
+  malloc : Sched.thread -> int -> int;  (** size in bytes -> handle *)
+  free : Sched.thread -> int -> unit;
+  cached_objects : unit -> int;
+      (** objects sitting in caches/bins, available for reuse *)
+}
+
+val instrument :
+  name:string ->
+  table:Obj_table.t ->
+  raw_malloc:(Sched.thread -> int -> int) ->
+  raw_free:(Sched.thread -> int -> unit) ->
+  cached_objects:(unit -> int) ->
+  t
+(** Wrap raw entry points with the shared instrumentation: live-bit
+    maintenance, alloc/free counters, inclusive free timing, histogram and
+    hook reporting. *)
+
+val group_by_home : Obj_table.t -> int array -> (int * int list) list
+(** Sort a batch of handles by home bin (stable), as runs of
+    [(home, handles)] — the order a flush visits destination bins. *)

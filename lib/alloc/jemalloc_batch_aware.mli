@@ -1,0 +1,7 @@
+(** The paper's footnote-3 future work: a JEmalloc variant sensitive to
+    batch frees. Cache overflows evict a small chunk into a per-thread
+    pending buffer that is drained incrementally and reused by refills, so
+    no single [free] call degenerates into a giant contended flush — the
+    allocator amortizes what AF amortizes at the reclaimer level. *)
+
+val make : ?config:Alloc_intf.config -> Simcore.Sched.t -> Alloc_intf.t

@@ -1,0 +1,164 @@
+(* Model of JEmalloc 5.x's small-object path.
+
+   Structure (paper §3.2 and Appendix B):
+   - per-thread caches (tcaches), one per size class, with a fill threshold;
+   - 4xT arenas; each thread is bound to one arena; each (arena, size class)
+     pair is a *bin* protected by a mutex;
+   - [free] pushes into the tcache; when the tcache overflows, approximately
+     3/4 of it is flushed: the flushed objects are returned to the bins of
+     the arenas that own them — remote bins for objects allocated by other
+     threads — holding each bin's lock while iterating;
+   - [malloc] pops from the tcache; on a miss it refills from the thread's
+     own arena bin, allocating fresh pages when the bin is empty.
+
+   The remote-batch-free problem is emergent: an EBR batch free overflows
+   the tcache repeatedly, each flush visits bins of many owner threads, and
+   with many threads flushing concurrently the bin mutexes queue up, so a
+   single [free] call can take virtual milliseconds. *)
+
+open Simcore
+
+type bin = { lock : Sim_mutex.t; freelist : Vec.t }
+
+type t = {
+  sched : Sched.t;
+  cost : Cost_model.t;
+  config : Alloc_intf.config;
+  table : Obj_table.t;
+  narenas : int;
+  bins : bin array array;  (* arena -> size class -> bin *)
+  tcache : Vec.t array array;  (* thread -> size class -> handles *)
+  flush_keep : int;  (* objects kept in the tcache after a flush *)
+}
+
+let bin_id _t ~arena ~cls = (arena * Size_class.count) + cls
+let arena_of_bin _t home = home / Size_class.count
+
+(* Thread-to-arena binding: with 4xT arenas every thread gets its own arena
+   (as in JEmalloc, where arenas are assigned round-robin and collisions are
+   rare at these arena counts). *)
+let arena_of_thread _t tid = tid
+
+let create ?(config = Alloc_intf.default_config) sched =
+  let n = Sched.n_threads sched in
+  let narenas = 4 * n in
+  let mk_bin a c =
+    {
+      lock = Sim_mutex.create ~name:(Printf.sprintf "je-bin-%d-%d" a c) ();
+      freelist = Vec.create ();
+    }
+  in
+  let t =
+    {
+      sched;
+      cost = Sched.cost sched;
+      config;
+      table = Obj_table.create ();
+      narenas;
+      bins = Array.init narenas (fun a -> Array.init Size_class.count (mk_bin a));
+      tcache = Array.init n (fun _ -> Array.init Size_class.count (fun _ -> Vec.create ()));
+      flush_keep = max 1 (int_of_float (float_of_int config.tcache_cap *. (1. -. config.flush_fraction)));
+    }
+  in
+  t
+
+(* Return flushed objects to their owner bins, grouped so each bin is locked
+   once per flush. All work in here is accounted inclusively as flush (and
+   free) time; lock waiting additionally lands in the lock bucket — the
+   virtual analogue of je_tcache_bin_flush_small / je_malloc_mutex_lock_slow. *)
+let flush t (th : Sched.thread) cls =
+  let tc = t.tcache.(th.Sched.tid).(cls) in
+  let n_flush = Vec.length tc - t.flush_keep in
+  if n_flush > 0 then begin
+    th.Sched.in_flush <- true;
+    th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
+    let batch = Vec.take_front tc n_flush in
+    let my_arena = arena_of_thread t th.Sched.tid in
+    let runs = Alloc_intf.group_by_home t.table batch in
+    (* JEmalloc's je_tcache_bin_flush_small visits one destination bin at a
+       time and, while holding that bin's lock, iterates over the whole
+       remaining buffer to pick out the objects belonging to it. The work
+       under each lock is therefore proportional to the *entire* batch, not
+       just that bin's share — the quadratic behaviour that turns a large
+       batch free into a milliseconds-long call once bins are contended. *)
+    let remaining = ref (Array.length batch) in
+    List.iter
+      (fun (home, objs) ->
+        let arena = arena_of_bin t home in
+        let bin = t.bins.(arena).(cls) in
+        Sim_mutex.lock bin.lock th;
+        Sched.work th Metrics.Flush (!remaining * t.cost.Cost_model.flush_scan_per_object);
+        List.iter
+          (fun h ->
+            Sched.work th Metrics.Flush t.cost.Cost_model.flush_per_object;
+            Vec.push bin.freelist h;
+            if arena <> my_arena then
+              th.Sched.metrics.Metrics.remote_frees <-
+                th.Sched.metrics.Metrics.remote_frees + 1)
+          objs;
+        Sim_mutex.unlock bin.lock th;
+        remaining := !remaining - List.length objs)
+      runs;
+    th.Sched.in_flush <- false
+  end
+
+let raw_free t (th : Sched.thread) h =
+  let cls = Obj_table.size_class t.table h in
+  let tc = t.tcache.(th.Sched.tid).(cls) in
+  Sched.work th Metrics.Alloc t.cost.Cost_model.cache_push;
+  Vec.push tc h;
+  if Vec.length tc > t.config.tcache_cap then flush t th cls
+
+(* Refill the tcache from the thread's own arena bin, creating fresh memory
+   if the bin cannot satisfy the batch. Returns with a non-empty tcache. *)
+let refill t (th : Sched.thread) cls =
+  let tid = th.Sched.tid in
+  let tc = t.tcache.(tid).(cls) in
+  let arena = arena_of_thread t tid in
+  let bin = t.bins.(arena).(cls) in
+  Sim_mutex.lock bin.lock th;
+  let from_bin = min t.config.refill_batch (Vec.length bin.freelist) in
+  for _ = 1 to from_bin do
+    Sched.work th Metrics.Alloc t.cost.Cost_model.refill_per_object;
+    Vec.push tc (Vec.pop bin.freelist)
+  done;
+  (* Fresh pages only when the bin had nothing to offer. *)
+  let missing = if from_bin > 0 then 0 else t.config.refill_batch in
+  if missing > 0 then begin
+    (* Bump-allocate fresh objects into the cache; page faults and first
+       touches are charged after release, where they really occur. *)
+    let home = bin_id t ~arena ~cls in
+    for _ = 1 to missing do
+      Sched.work th Metrics.Alloc t.cost.Cost_model.refill_per_object;
+      Vec.push tc (Obj_table.fresh t.table ~size_class:cls ~home)
+    done
+  end;
+  Sim_mutex.unlock bin.lock th;
+  if missing > 0 then begin
+    let size = Size_class.bytes cls in
+    let per_page = max 1 (t.config.page_bytes / size) in
+    let pages = (missing + per_page - 1) / per_page in
+    Sched.work th Metrics.Alloc (pages * t.cost.Cost_model.fresh_page);
+    Sched.work th Metrics.Alloc (missing * t.cost.Cost_model.fresh_object_touch)
+  end
+
+let raw_malloc t (th : Sched.thread) size =
+  let cls = Size_class.of_size size in
+  let tc = t.tcache.(th.Sched.tid).(cls) in
+  if Vec.is_empty tc then refill t th cls;
+  Sched.work th Metrics.Alloc t.cost.Cost_model.cache_pop;
+  Vec.pop tc
+
+let cached_objects t () =
+  let total = ref 0 in
+  Array.iter (fun per_class -> Array.iter (fun tc -> total := !total + Vec.length tc) per_class) t.tcache;
+  Array.iter
+    (fun per_class -> Array.iter (fun bin -> total := !total + Vec.length bin.freelist) per_class)
+    t.bins;
+  !total
+
+let make ?config sched =
+  let t = create ?config sched in
+  Alloc_intf.instrument ~name:"jemalloc" ~table:t.table
+    ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
+    ~cached_objects:(cached_objects t)

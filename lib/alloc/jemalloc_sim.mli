@@ -1,0 +1,9 @@
+(** JEmalloc 5.x small-object model (paper §3.2, Appendix B).
+
+    Per-thread caches over per-(arena, size class) bins, 4×T arenas with one
+    arena per thread. A cache overflow flushes ~3/4 of the cache: the flush
+    visits each destination bin once and, while holding that bin's lock,
+    scans the whole remaining buffer — so a large batch free degenerates
+    into many contended, quadratic flushes: the remote-batch-free problem. *)
+
+val make : ?config:Alloc_intf.config -> Simcore.Sched.t -> Alloc_intf.t

@@ -1,0 +1,5 @@
+(** Degenerate allocator: every allocation is fresh memory and nothing is
+    recycled. A baseline for tests and for isolating data structure costs
+    from allocator effects. *)
+
+val make : ?config:Alloc_intf.config -> Simcore.Sched.t -> Alloc_intf.t

@@ -1,0 +1,11 @@
+(** MImalloc free-list-sharding model (Appendix B).
+
+    Free lists live at page granularity: local frees are unsynchronized, a
+    remote free is a single atomic push onto the owning page's cross-thread
+    list (contending only with simultaneous frees to the same page), and
+    owners collect cross-thread lists when allocating. There is no
+    bounded thread cache to overflow, so batch frees do not trigger a
+    contention storm — MImalloc "sidesteps the problem altogether" and
+    amortized freeing does not help it (paper Table 3). *)
+
+val make : ?config:Alloc_intf.config -> Simcore.Sched.t -> Alloc_intf.t

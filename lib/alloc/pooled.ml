@@ -1,0 +1,61 @@
+(* Object pooling — the optimization the paper deliberately does *not*
+   apply (§3.3) and credits for VBR's performance (footnote 4), implemented
+   as an allocator decorator so it can be measured.
+
+   Freed objects go to an unbounded per-thread, per-class pool; allocations
+   take from the pool first and fall through to the underlying allocator on
+   a miss. Pooling avoids allocator interaction almost entirely — at the
+   price of unbounded caching (pooled memory is never returned), the
+   trade-off the paper discusses. *)
+
+open Simcore
+
+type t = {
+  base : Alloc_intf.t;
+  pools : Vec.t array array;  (* thread -> size class *)
+  pool_hit_cost : int;
+  mutable pooled : int;
+}
+
+let create base ~n =
+  {
+    base;
+    pools = Array.init n (fun _ -> Array.init Size_class.count (fun _ -> Vec.create ()));
+    pool_hit_cost = 4;
+    pooled = 0;
+  }
+
+let raw_malloc t (th : Sched.thread) size =
+  let cls = Size_class.of_size size in
+  let pool = t.pools.(th.Sched.tid).(cls) in
+  if Vec.is_empty pool then begin
+    (* Fall through; the base allocator marks the object live itself, so
+       compensate by un-marking before our own instrumentation re-marks. *)
+    let h = t.base.Alloc_intf.malloc th size in
+    Obj_table.mark_dead t.base.Alloc_intf.table h;
+    th.Sched.metrics.Metrics.allocs <- th.Sched.metrics.Metrics.allocs - 1;
+    h
+  end
+  else begin
+    Sched.work th Metrics.Alloc t.pool_hit_cost;
+    t.pooled <- t.pooled - 1;
+    Vec.pop pool
+  end
+
+(* Frees never reach the base allocator: the object parks in the pool. *)
+let raw_free t (th : Sched.thread) h =
+  let cls = Obj_table.size_class t.base.Alloc_intf.table h in
+  Sched.work th Metrics.Alloc t.pool_hit_cost;
+  t.pooled <- t.pooled + 1;
+  Vec.push t.pools.(th.Sched.tid).(cls) h
+
+let pooled_objects t = t.pooled
+
+let wrap ~n base =
+  let t = create base ~n in
+  let wrapped =
+    Alloc_intf.instrument ~name:(base.Alloc_intf.name ^ "+pool") ~table:base.Alloc_intf.table
+      ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
+      ~cached_objects:(fun () -> base.Alloc_intf.cached_objects () + t.pooled)
+  in
+  (wrapped, t)

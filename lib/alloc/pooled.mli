@@ -1,0 +1,13 @@
+(** Object pooling as an allocator decorator — the optimization the paper
+    deliberately leaves out (§3.3, footnote 4): freed objects park in
+    unbounded per-thread pools and allocations take from the pool first,
+    avoiding allocator interaction almost entirely. *)
+
+type t
+
+val wrap : n:int -> Alloc_intf.t -> Alloc_intf.t * t
+(** [wrap ~n base] decorates [base] for [n] threads; returns the decorated
+    allocator and a handle for inspection. *)
+
+val pooled_objects : t -> int
+(** Objects currently parked in pools. *)

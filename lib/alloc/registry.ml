@@ -1,0 +1,14 @@
+(* Allocators by name, for the CLI and benchmark harness. *)
+
+let names = [ "jemalloc"; "jemalloc-ba"; "tcmalloc"; "mimalloc"; "leak"; "jemalloc-pool" ]
+
+let make ?config name sched =
+  match name with
+  | "jemalloc" | "je" -> Jemalloc_sim.make ?config sched
+  | "jemalloc-ba" | "jeba" -> Jemalloc_batch_aware.make ?config sched
+  | "jemalloc-pool" | "jepool" ->
+      fst (Pooled.wrap ~n:(Simcore.Sched.n_threads sched) (Jemalloc_sim.make ?config sched))
+  | "tcmalloc" | "tc" -> Tcmalloc_sim.make ?config sched
+  | "mimalloc" | "mi" -> Mimalloc_sim.make ?config sched
+  | "leak" | "none" -> Leak_alloc.make ?config sched
+  | _ -> invalid_arg (Printf.sprintf "Alloc.Registry.make: unknown allocator %S" name)

@@ -1,0 +1,23 @@
+(* Size classes shared by all allocator models. The exact boundaries are a
+   simplification of JEmalloc's small classes; what matters for the paper's
+   phenomena is that objects of the same size share caches and bins. *)
+
+let classes =
+  [| 16; 32; 48; 64; 80; 96; 112; 128; 160; 192; 224; 256; 320; 384; 448; 512 |]
+
+let count = Array.length classes
+
+let max_size = classes.(count - 1)
+
+(* Index of the smallest class that fits [size]. *)
+let of_size size =
+  if size <= 0 then invalid_arg "Size_class.of_size: non-positive size";
+  if size > max_size then
+    invalid_arg
+      (Printf.sprintf "Size_class.of_size: %d exceeds max small size %d" size max_size);
+  let rec find i = if classes.(i) >= size then i else find (i + 1) in
+  find 0
+
+let bytes c =
+  if c < 0 || c >= count then invalid_arg "Size_class.bytes";
+  classes.(c)

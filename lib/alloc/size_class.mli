@@ -1,0 +1,15 @@
+(** Small-object size classes shared by all allocator models. *)
+
+val classes : int array
+(** Class boundaries in bytes, ascending. *)
+
+val count : int
+val max_size : int
+
+val of_size : int -> int
+(** Index of the smallest class that fits a size in bytes.
+    @raise Invalid_argument on non-positive or over-large sizes. *)
+
+val bytes : int -> int
+(** Object size of a class index.
+    @raise Invalid_argument on an invalid index. *)

@@ -1,0 +1,9 @@
+(** TCmalloc small-object model (Appendix B).
+
+    Thread caches over one {e central free list per size class}, shared by
+    every thread under a single lock. Transfers are cheap splices, but at
+    high thread counts all flushes and refills in the system serialize on
+    the per-class lock — which is why the paper measures TCmalloc's batch
+    free below JEmalloc's. *)
+
+val make : ?config:Alloc_intf.config -> Simcore.Sched.t -> Alloc_intf.t

@@ -1,0 +1,9 @@
+(** The leaky baseline and a deliberately unsafe reclaimer. *)
+
+val make : Smr_intf.ctx -> Smr_intf.t
+(** "none": count retires, never free. Often (incorrectly, as the paper
+    shows) treated as an upper bound on reclamation performance. *)
+
+val unsafe_immediate : Smr_intf.ctx -> Smr_intf.t
+(** Frees at retire time with no grace period — exists so the test suite
+    can demonstrate that {!Smr.Safety} catches real violations. *)

@@ -1,0 +1,35 @@
+(* Reclaimers by name, exactly the ten algorithms of the paper's evaluation
+   plus the leaky baseline. A "<name>_af" suffix selects the amortized-free
+   variant of any algorithm; the policy itself is constructed by the caller
+   (the runtime), so this module only maps names to constructors. *)
+
+(* The ten algorithms of Experiments 1 and 2, in the paper's order. *)
+let paper_algorithms =
+  [ "token"; "debra"; "he"; "hp"; "ibr"; "nbr"; "nbr+"; "qsbr"; "rcu"; "wfe" ]
+
+let names = paper_algorithms @ [ "none"; "token-naive"; "token-passfirst"; "hyaline" ]
+
+(* Strip a trailing "_af" and report whether it was present. *)
+let parse name =
+  match Filename.chop_suffix_opt ~suffix:"_af" name with
+  | Some base -> (base, true)
+  | None -> (name, false)
+
+let make ?(token_period = 100) ?(buffer_size = 384) ?(debra_check_every = 3) name ctx =
+  match name with
+  | "debra" -> Epoch_based.debra ~check_every:debra_check_every ctx
+  | "qsbr" -> Epoch_based.qsbr ctx
+  | "token" -> Token_ebr.make ~variant:(Token_ebr.Periodic token_period) ctx
+  | "token-naive" -> Token_ebr.make ~variant:Token_ebr.Naive ctx
+  | "token-passfirst" -> Token_ebr.make ~variant:Token_ebr.Pass_first ctx
+  | "hp" -> Buffered.hp ~buffer_size ctx
+  | "he" -> Buffered.he ~buffer_size ctx
+  | "wfe" -> Buffered.wfe ~buffer_size ctx
+  | "ibr" -> Buffered.ibr ~buffer_size ctx
+  | "rcu" -> Buffered.rcu ~buffer_size ctx
+  | "nbr" -> Buffered.nbr ~buffer_size ctx
+  | "nbr+" -> Buffered.nbr_plus ~buffer_size ctx
+  | "hyaline" -> Buffered.hyaline ~buffer_size ctx
+  | "none" -> None_smr.make ctx
+  | "unsafe-immediate" -> None_smr.unsafe_immediate ctx
+  | _ -> invalid_arg (Printf.sprintf "Smr_registry.make: unknown reclaimer %S" name)

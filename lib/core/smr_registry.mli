@@ -1,0 +1,24 @@
+(** Reclaimers by name: the ten algorithms of the paper's evaluation, the
+    Token-EBR development variants and the leaky baseline. *)
+
+val paper_algorithms : string list
+(** The ten algorithms of Experiments 1 and 2, in the paper's order. *)
+
+val names : string list
+
+val parse : string -> string * bool
+(** [parse name] strips a trailing ["_af"], returning the base algorithm
+    and whether amortized freeing was requested. *)
+
+val make :
+  ?token_period:int ->
+  ?buffer_size:int ->
+  ?debra_check_every:int ->
+  string ->
+  Smr_intf.ctx ->
+  Smr_intf.t
+(** Instantiate a reclaimer by base name (["debra"], ["qsbr"], ["token"],
+    ["token-naive"], ["token-passfirst"], ["hp"], ["he"], ["wfe"], ["ibr"],
+    ["rcu"], ["nbr"], ["nbr+"], ["none"], ["unsafe-immediate"]). The AF/
+    batch choice lives in the context's {!Free_policy.t}.
+    @raise Invalid_argument on an unknown name. *)

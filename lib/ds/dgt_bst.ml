@@ -1,0 +1,150 @@
+(* External binary search tree in the style of David, Guerraoui and
+   Trigonakis (the paper's "DGT tree", Appendix D).
+
+   The tree is *external*: all keys live in leaves and internal nodes are
+   pure routers with exactly two children. Consequently a successful insert
+   allocates two nodes (a leaf plus a router) and a successful delete
+   unlinks and retires two (the leaf plus its parent router) — roughly twice
+   the ABtree's retire rate per update, with small 64-byte nodes. *)
+
+
+let node_bytes = 64
+
+type internal = { h : int; key : int; mutable left : node; mutable right : node }
+and node = Leaf of { h : int; key : int } | Internal of internal
+
+type t = {
+  ctx : Ds_intf.ctx;
+  mutable root : node option;
+  mutable size : int;
+  mutable nodes : int;
+}
+
+let create ctx = { ctx; root = None; size = 0; nodes = 0 }
+
+let alloc_handle t th =
+  t.nodes <- t.nodes + 1;
+  t.ctx.Ds_intf.alloc.Alloc.Alloc_intf.malloc th node_bytes
+
+let retire_handle t th h =
+  t.nodes <- t.nodes - 1;
+  t.ctx.Ds_intf.retire th h
+
+(* Descend to the leaf for [key]. Returns the leaf, its parent router (with
+   the direction taken), the grandparent edge, and nodes visited. *)
+let search t key =
+  let rec go node parent path visited =
+    match node with
+    | Leaf _ as l -> (l, parent, path, visited + 1)
+    | Internal n as i ->
+        let dir = if key < n.key then `Left else `Right in
+        let child = match dir with `Left -> n.left | `Right -> n.right in
+        go child (Some (n, dir)) (i :: path) (visited + 1)
+  in
+  match t.root with
+  | None -> (None, None, [], 0)
+  | Some root ->
+      let l, p, path, v = go root None [] 0 in
+      (Some l, p, path, v)
+
+let leaf_key = function Leaf l -> l.key | Internal _ -> invalid_arg "leaf_key"
+
+let insert t th key =
+  let leaf, parent, _path, visited = search t key in
+  let visited = ref visited in
+  let changed =
+    match leaf with
+    | None ->
+        t.root <- Some (Leaf { h = alloc_handle t th; key });
+        incr visited;
+        t.size <- t.size + 1;
+        true
+    | Some l when leaf_key l = key -> false
+    | Some l ->
+        (* Replace the leaf with a router over {old leaf, new leaf}. *)
+        let lk = leaf_key l in
+        let fresh = Leaf { h = alloc_handle t th; key } in
+        let router_key = max key lk in
+        let left, right = if key < lk then (fresh, l) else (l, fresh) in
+        let router = Internal { h = alloc_handle t th; key = router_key; left; right } in
+        (match parent with
+        | None -> t.root <- Some router
+        | Some (p, `Left) -> p.left <- router
+        | Some (p, `Right) -> p.right <- router);
+        visited := !visited + 2;
+        t.size <- t.size + 1;
+        true
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let delete t th key =
+  let leaf, parent, path, visited = search t key in
+  let visited = ref visited in
+  let changed =
+    match (leaf, parent) with
+    | Some l, None when leaf_key l = key ->
+        (* Single-leaf tree. *)
+        (match l with Leaf { h; _ } -> retire_handle t th h | Internal _ -> assert false);
+        t.root <- None;
+        t.size <- t.size - 1;
+        true
+    | Some l, Some (p, dir) when leaf_key l = key ->
+        (* Unlink the leaf and its parent router: the sibling takes the
+           router's place under the grandparent. *)
+        let sibling = match dir with `Left -> p.right | `Right -> p.left in
+        (match path with
+        | _ :: Internal g :: _ -> (
+            (* Physical identity decides which side of the grandparent
+               held the router. *)
+            match g.left with
+            | Internal x when x == p -> g.left <- sibling
+            | Internal _ | Leaf _ -> g.right <- sibling)
+        | _ :: Leaf _ :: _ -> assert false
+        | [ _ ] | [] -> t.root <- Some sibling);
+        (match l with Leaf { h; _ } -> retire_handle t th h | Internal _ -> assert false);
+        retire_handle t th p.h;
+        visited := !visited + 1;
+        t.size <- t.size - 1;
+        true
+    | _ -> false
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let contains t th key =
+  let leaf, _parent, _path, visited = search t key in
+  Ds_intf.charge t.ctx th visited;
+  let present = match leaf with Some l -> leaf_key l = key | None -> false in
+  { Ds_intf.changed = present; visited }
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Dgt_bst: " ^^ fmt) in
+  let keys = ref 0 and nodes = ref 0 in
+  let rec walk node lo hi =
+    incr nodes;
+    match node with
+    | Leaf l ->
+        if l.key < lo || l.key >= hi then fail "leaf key %d out of [%d,%d)" l.key lo hi;
+        incr keys
+    | Internal n ->
+        if n.key < lo || n.key > hi then fail "router key %d out of range" n.key;
+        walk n.left lo n.key;
+        walk n.right n.key hi
+  in
+  (match t.root with None -> () | Some r -> walk r min_int max_int);
+  if !keys <> t.size then fail "size counter %d but %d leaves" t.size !keys;
+  if !nodes <> t.nodes then fail "node counter %d but %d reachable" t.nodes !nodes
+
+let make ctx =
+  let t = create ctx in
+  {
+    Ds_intf.name = "dgt";
+    insert = insert t;
+    delete = delete t;
+    contains = contains t;
+    size = (fun () -> t.size);
+    node_count = (fun () -> t.nodes);
+    check_invariants = (fun () -> check_invariants t);
+    allocs_per_update = 1.0;
+  }

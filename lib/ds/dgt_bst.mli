@@ -1,0 +1,10 @@
+(** External BST in the style of David, Guerraoui and Trigonakis — the
+    "DGT tree" of the paper's Appendix D.
+
+    All keys live in leaves under pure routers: a successful insert
+    allocates a leaf plus a router, a successful delete retires both —
+    twice the ABtree's retire rate, with small nodes. *)
+
+val node_bytes : int
+
+val make : Ds_intf.ctx -> Ds_intf.t

@@ -1,0 +1,41 @@
+(* Interface of the concurrent-set benchmark data structures.
+
+   The structures are genuine ordered sets over integer keys: operations
+   mutate real trees and their set semantics are model-checked in the test
+   suite. Their *memory* lives in the simulated allocator: every node holds
+   a handle obtained from [ctx.alloc], and unlinked nodes are handed to
+   [ctx.retire] (the SMR under test).
+
+   Operations run in the context of a simulated thread and charge the
+   traversal cost themselves ([ctx.node_cost] per visited node); they report
+   how many nodes they visited so the runtime can additionally charge the
+   reclaimer's per-node protection cost. *)
+
+open Simcore
+
+type ctx = {
+  alloc : Alloc.Alloc_intf.t;
+  retire : Sched.thread -> int -> unit;
+  node_cost : int;  (* virtual ns per visited node *)
+}
+
+type op_result = { changed : bool; visited : int }
+
+type t = {
+  name : string;
+  insert : Sched.thread -> int -> op_result;  (* changed = was absent *)
+  delete : Sched.thread -> int -> op_result;  (* changed = was present *)
+  contains : Sched.thread -> int -> op_result;  (* changed = present *)
+  size : unit -> int;
+  (* Number of allocator objects currently reachable from the structure.
+     Together with the SMR's garbage count this must equal the allocator's
+     live-object count — the leak-freedom invariant checked in tests. *)
+  node_count : unit -> int;
+  check_invariants : unit -> unit;  (* raises Invalid_argument on violation *)
+  (* Average allocator objects allocated per update operation; used to tune
+     the amortized-free drain rate (paper §7). *)
+  allocs_per_update : float;
+}
+
+let charge ctx (th : Sched.thread) visited =
+  Sched.work th Metrics.Ds (visited * ctx.node_cost)

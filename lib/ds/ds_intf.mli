@@ -1,0 +1,37 @@
+(** Interface of the concurrent-set benchmark data structures.
+
+    The structures are genuine ordered sets over integer keys (their
+    semantics are model-checked against [Stdlib.Set] in the tests); their
+    memory lives in the simulated allocator and unlinked nodes go to the
+    reclaimer under test via [ctx.retire]. Operations charge their own
+    traversal cost and report how many nodes they visited so the runtime
+    can add the reclaimer's per-node protection cost. *)
+
+open Simcore
+
+type ctx = {
+  alloc : Alloc.Alloc_intf.t;
+  retire : Sched.thread -> int -> unit;
+  node_cost : int;  (** virtual ns per visited node *)
+}
+
+type op_result = { changed : bool; visited : int }
+
+type t = {
+  name : string;
+  insert : Sched.thread -> int -> op_result;  (** [changed] = was absent *)
+  delete : Sched.thread -> int -> op_result;  (** [changed] = was present *)
+  contains : Sched.thread -> int -> op_result;  (** [changed] = present *)
+  size : unit -> int;
+  node_count : unit -> int;
+      (** allocator objects reachable from the structure; together with the
+          reclaimer's garbage this equals the allocator's live count — the
+          leak-freedom invariant *)
+  check_invariants : unit -> unit;
+      (** @raise Invalid_argument on a structural violation *)
+  allocs_per_update : float;
+      (** average allocations per update, for tuning the AF drain rate *)
+}
+
+val charge : ctx -> Sched.thread -> int -> unit
+(** Charge [visited * node_cost] to the [Ds] bucket. *)

@@ -1,0 +1,15 @@
+(* Data structures by name. [make] needs a thread context because the
+   ABtree allocates its initial (empty) leaf. *)
+
+open Simcore
+
+let names = [ "abtree"; "occtree"; "dgt"; "skiplist"; "list" ]
+
+let make name ctx (th : Sched.thread) =
+  match name with
+  | "abtree" | "ab" -> Abtree.make ctx th
+  | "occtree" | "occ" -> Occ_tree.make ctx
+  | "dgt" -> Dgt_bst.make ctx
+  | "skiplist" | "sl" -> Skiplist.make ctx
+  | "list" | "ll" -> Ll_set.make ctx
+  | _ -> invalid_arg (Printf.sprintf "Ds_registry.make: unknown data structure %S" name)

@@ -1,0 +1,93 @@
+(* Sorted linked-list set (Harris-style, minus the real CAS marking, which
+   operation-granularity simulation makes unnecessary). Linear traversals
+   make it usable only with small key ranges; it exists as a simple fourth
+   structure for tests and examples, with one 48-byte node allocated per
+   insert and one retired per delete. *)
+
+
+let node_bytes = 48
+
+type node = { h : int; key : int; mutable next : node option }
+
+type t = {
+  ctx : Ds_intf.ctx;
+  head : node;  (* sentinel, not allocator-backed *)
+  mutable size : int;
+  mutable nodes : int;
+}
+
+let create ctx = { ctx; head = { h = -1; key = min_int; next = None }; size = 0; nodes = 0 }
+
+(* Find the predecessor of the first node with key >= [key]. *)
+let locate t key =
+  let rec go pred visited =
+    match pred.next with
+    | Some n when n.key < key -> go n (visited + 1)
+    | Some _ | None -> (pred, visited)
+  in
+  go t.head 1
+
+let insert t th key =
+  let pred, visited = locate t key in
+  let visited = ref visited in
+  let changed =
+    match pred.next with
+    | Some n when n.key = key -> false
+    | next ->
+        t.nodes <- t.nodes + 1;
+        let h = t.ctx.Ds_intf.alloc.Alloc.Alloc_intf.malloc th node_bytes in
+        pred.next <- Some { h; key; next };
+        incr visited;
+        t.size <- t.size + 1;
+        true
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let delete t th key =
+  let pred, visited = locate t key in
+  let visited = ref visited in
+  let changed =
+    match pred.next with
+    | Some n when n.key = key ->
+        pred.next <- n.next;
+        t.nodes <- t.nodes - 1;
+        t.ctx.Ds_intf.retire th n.h;
+        t.size <- t.size - 1;
+        true
+    | Some _ | None -> false
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let contains t th key =
+  let pred, visited = locate t key in
+  Ds_intf.charge t.ctx th visited;
+  let present = match pred.next with Some n -> n.key = key | None -> false in
+  { Ds_intf.changed = present; visited }
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Ll_set: " ^^ fmt) in
+  let rec walk node prev count =
+    match node with
+    | None -> count
+    | Some n ->
+        if n.key <= prev then fail "keys not strictly increasing at %d" n.key;
+        walk n.next n.key (count + 1)
+  in
+  let count = walk t.head.next min_int 0 in
+  if count <> t.size then fail "size counter %d but %d nodes" t.size count;
+  if count <> t.nodes then fail "node counter %d but %d nodes" t.nodes count
+
+let make ctx =
+  let t = create ctx in
+  {
+    Ds_intf.name = "list";
+    insert = insert t;
+    delete = delete t;
+    contains = contains t;
+    size = (fun () -> t.size);
+    node_count = (fun () -> t.nodes);
+    check_invariants = (fun () -> check_invariants t);
+    allocs_per_update = 0.5;
+  }

@@ -1,0 +1,6 @@
+(** Sorted linked-list set (Harris-style). Linear traversals restrict it to
+    small key ranges; used in tests and examples. *)
+
+val node_bytes : int
+
+val make : Ds_intf.ctx -> Ds_intf.t

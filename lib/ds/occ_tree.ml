@@ -1,0 +1,153 @@
+(* Bronson et al.'s partially external BST (the paper's "OCCtree").
+
+   The property that matters for the paper: a *partially external* tree
+   turns deletions of nodes with two children into mere unmarking-candidates
+   (routing nodes), so deletes allocate nothing and only unlink/retire
+   small (64-byte) nodes when a node has at most one child. Inserts either
+   revive a routing node (no allocation) or allocate exactly one node.
+   Compared with the ABtree this slashes allocator traffic, which is why
+   the OCCtree keeps scaling on four sockets while the ABtree hits the
+   remote-batch-free wall (paper Fig 1). Rebalancing is omitted: uniform
+   random keys keep the expected depth logarithmic. *)
+
+
+let node_bytes = 64
+
+type node = {
+  h : int;
+  key : int;
+  mutable present : bool;  (* false = routing node *)
+  mutable left : node option;
+  mutable right : node option;
+}
+
+type t = {
+  ctx : Ds_intf.ctx;
+  mutable root : node option;
+  mutable size : int;
+  mutable nodes : int;
+}
+
+let create ctx = { ctx; root = None; size = 0; nodes = 0 }
+
+let alloc_node t th key =
+  t.nodes <- t.nodes + 1;
+  let h = t.ctx.Ds_intf.alloc.Alloc.Alloc_intf.malloc th node_bytes in
+  { h; key; present = true; left = None; right = None }
+
+let retire_node t th (n : node) =
+  t.nodes <- t.nodes - 1;
+  t.ctx.Ds_intf.retire th n.h
+
+(* Search for [key]; returns the node (if a node with that key exists), the
+   path from root (deepest first, with the direction taken *from* each
+   node), and the number of nodes visited. *)
+let search t key =
+  let rec go node path visited =
+    match node with
+    | None -> (None, path, visited)
+    | Some n ->
+        if key = n.key then (Some n, path, visited + 1)
+        else if key < n.key then go n.left ((n, `Left) :: path) (visited + 1)
+        else go n.right ((n, `Right) :: path) (visited + 1)
+  in
+  go t.root [] 0
+
+let child_count n =
+  (match n.left with Some _ -> 1 | None -> 0) + (match n.right with Some _ -> 1 | None -> 0)
+
+let replace_in t path n replacement =
+  match path with
+  | [] -> t.root <- replacement
+  | (p, `Left) :: _ -> p.left <- replacement
+  | (p, `Right) :: _ ->
+      p.right <- replacement;
+      ignore n
+
+(* Unlink [n] (which has at most one child), then cascade: unlink any
+   ancestor routing node left with fewer than two children, as Bronson's
+   tree does during deletion cleanup. Returns nodes retired. *)
+let rec unlink t th n path =
+  let child = match n.left with Some _ as c -> c | None -> n.right in
+  replace_in t path n child;
+  retire_node t th n;
+  match path with
+  | (p, _) :: rest when (not p.present) && child_count p < 2 -> 1 + unlink t th p rest
+  | _ -> 1
+
+let insert t th key =
+  let found, path, visited = search t key in
+  let visited = ref visited in
+  let changed =
+    match found with
+    | Some n ->
+        if n.present then false
+        else begin
+          (* Revive a routing node: no allocation at all. *)
+          n.present <- true;
+          t.size <- t.size + 1;
+          true
+        end
+    | None ->
+        let fresh = alloc_node t th key in
+        replace_in t path fresh (Some fresh);
+        incr visited;
+        t.size <- t.size + 1;
+        true
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let delete t th key =
+  let found, path, visited = search t key in
+  let visited = ref visited in
+  let changed =
+    match found with
+    | Some n when n.present ->
+        t.size <- t.size - 1;
+        if child_count n = 2 then
+          (* Two children: becomes a routing node; no memory is touched. *)
+          n.present <- false
+        else visited := !visited + unlink t th n path;
+        true
+    | Some _ | None -> false
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let contains t th key =
+  let found, _path, visited = search t key in
+  Ds_intf.charge t.ctx th visited;
+  let present = match found with Some n -> n.present | None -> false in
+  { Ds_intf.changed = present; visited }
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Occ_tree: " ^^ fmt) in
+  let present = ref 0 and nodes = ref 0 in
+  let rec walk node lo hi =
+    match node with
+    | None -> ()
+    | Some n ->
+        incr nodes;
+        if n.key < lo || n.key >= hi then fail "key %d out of range" n.key;
+        if n.present then incr present
+        else if child_count n = 0 then fail "routing leaf %d" n.key;
+        walk n.left lo n.key;
+        walk n.right (n.key + 1) hi
+  in
+  walk t.root min_int max_int;
+  if !present <> t.size then fail "size counter %d but %d present keys" t.size !present;
+  if !nodes <> t.nodes then fail "node counter %d but %d reachable" t.nodes !nodes
+
+let make ctx =
+  let t = create ctx in
+  {
+    Ds_intf.name = "occtree";
+    insert = insert t;
+    delete = delete t;
+    contains = contains t;
+    size = (fun () -> t.size);
+    node_count = (fun () -> t.nodes);
+    check_invariants = (fun () -> check_invariants t);
+    allocs_per_update = 0.4;
+  }

@@ -1,0 +1,11 @@
+(** Bronson et al.'s partially external BST — the paper's "OCCtree".
+
+    Deletions of nodes with two children merely mark them as routing nodes
+    (no memory traffic); inserts revive routing nodes without allocating or
+    add a single 64-byte node. The resulting low allocator traffic is why
+    the OCCtree keeps scaling on four sockets while the ABtree hits the
+    remote-batch-free wall (paper Fig 1). *)
+
+val node_bytes : int
+
+val make : Ds_intf.ctx -> Ds_intf.t

@@ -1,0 +1,166 @@
+(* Probabilistic skiplist set — a classic SMR benchmark structure (used by
+   the IBR and NBR papers' evaluations), rounding out the data structure
+   suite.
+
+   Towers are immutable once linked: an insert allocates exactly one node
+   whose size grows with its height (levels add pointer slots), a delete
+   unlinks the tower at every level and retires the one node. Expected
+   depth is logarithmic, maintained probabilistically rather than by
+   rebalancing — a different allocation profile from both trees: exactly
+   one object per successful update, of *variable* size class. *)
+
+let base_bytes = 48
+let bytes_per_level = 16
+let max_level = 16
+
+type node = {
+  h : int;  (* allocator handle; -1 for sentinels *)
+  key : int;
+  next : node option array;  (* one slot per level *)
+}
+
+type t = {
+  ctx : Ds_intf.ctx;
+  head : node;
+  mutable level : int;  (* highest level currently in use *)
+  mutable size : int;
+  mutable nodes : int;
+}
+
+let create ctx =
+  {
+    ctx;
+    head = { h = -1; key = min_int; next = Array.make max_level None };
+    level = 1;
+    size = 0;
+    nodes = 0;
+  }
+
+(* Geometric tower heights from the thread's deterministic stream. *)
+let random_level (th : Simcore.Sched.thread) =
+  let l = ref 1 in
+  while !l < max_level && Simcore.Rng.bool th.Simcore.Sched.rng do
+    incr l
+  done;
+  !l
+
+(* Collect the predecessor of [key] at every level, counting visits. *)
+let find_preds t key =
+  let preds = Array.make max_level t.head in
+  let visited = ref 0 in
+  let node = ref t.head in
+  for lvl = t.level - 1 downto 0 do
+    let continue = ref true in
+    while !continue do
+      match !node.next.(lvl) with
+      | Some n when n.key < key ->
+          node := n;
+          incr visited
+      | Some _ | None -> continue := false
+    done;
+    preds.(lvl) <- !node;
+    incr visited
+  done;
+  (preds, !visited)
+
+let found_after preds key =
+  match preds.(0).next.(0) with Some n when n.key = key -> Some n | Some _ | None -> None
+
+let insert t th key =
+  let preds, visited = find_preds t key in
+  let visited = ref visited in
+  let changed =
+    match found_after preds key with
+    | Some _ -> false
+    | None ->
+        let level = random_level th in
+        let bytes = base_bytes + (bytes_per_level * level) in
+        t.nodes <- t.nodes + 1;
+        let h = t.ctx.Ds_intf.alloc.Alloc.Alloc_intf.malloc th bytes in
+        let fresh = { h; key; next = Array.make level None } in
+        if level > t.level then begin
+          (* New levels descend from the head. *)
+          for lvl = t.level to level - 1 do
+            preds.(lvl) <- t.head
+          done;
+          t.level <- level
+        end;
+        for lvl = 0 to level - 1 do
+          fresh.next.(lvl) <- preds.(lvl).next.(lvl);
+          preds.(lvl).next.(lvl) <- Some fresh
+        done;
+        visited := !visited + level;
+        t.size <- t.size + 1;
+        true
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let delete t th key =
+  let preds, visited = find_preds t key in
+  let visited = ref visited in
+  let changed =
+    match found_after preds key with
+    | None -> false
+    | Some n ->
+        let height = Array.length n.next in
+        for lvl = 0 to height - 1 do
+          (match preds.(lvl).next.(lvl) with
+          | Some x when x == n -> preds.(lvl).next.(lvl) <- n.next.(lvl)
+          | Some _ | None -> ())
+        done;
+        (* Shrink the active level if the top became empty. *)
+        while t.level > 1 && t.head.next.(t.level - 1) = None do
+          t.level <- t.level - 1
+        done;
+        t.nodes <- t.nodes - 1;
+        t.ctx.Ds_intf.retire th n.h;
+        visited := !visited + height;
+        t.size <- t.size - 1;
+        true
+  in
+  Ds_intf.charge t.ctx th !visited;
+  { Ds_intf.changed; visited = !visited }
+
+let contains t th key =
+  let preds, visited = find_preds t key in
+  Ds_intf.charge t.ctx th visited;
+  { Ds_intf.changed = found_after preds key <> None; visited }
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf invalid_arg ("Skiplist: " ^^ fmt) in
+  (* Level-0 keys strictly ascending; every count consistent. *)
+  let count = ref 0 in
+  let rec walk prev = function
+    | None -> ()
+    | Some n ->
+        if n.key <= prev then fail "keys not ascending at %d" n.key;
+        incr count;
+        walk n.key n.next.(0)
+  in
+  walk min_int t.head.next.(0);
+  if !count <> t.size then fail "size %d but %d keys" t.size !count;
+  if !count <> t.nodes then fail "nodes %d but %d reachable" t.nodes !count;
+  (* Every higher-level list is a subsequence of level 0. *)
+  for lvl = 1 to t.level - 1 do
+    let rec sub = function
+      | None -> ()
+      | Some n ->
+          if Array.length n.next <= lvl then fail "tower too short at key %d" n.key;
+          sub n.next.(lvl)
+    in
+    sub t.head.next.(lvl)
+  done
+
+let make ctx =
+  let t = create ctx in
+  {
+    Ds_intf.name = "skiplist";
+    insert = insert t;
+    delete = delete t;
+    contains = contains t;
+    size = (fun () -> t.size);
+    node_count = (fun () -> t.nodes);
+    check_invariants = (fun () -> check_invariants t);
+    allocs_per_update = 0.5;
+  }

@@ -1,0 +1,9 @@
+(** Probabilistic skiplist set — a classic SMR benchmark structure.
+
+    Exactly one variable-sized allocation per successful insert (towers
+    grow by 16 bytes per level) and one retire per successful delete: an
+    allocation profile distinct from both trees. *)
+
+val max_level : int
+
+val make : Ds_intf.ctx -> Ds_intf.t

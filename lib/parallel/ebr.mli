@@ -1,0 +1,46 @@
+(** Real epoch-based reclamation for multicore OCaml (Domains + Atomics).
+
+    OCaml's GC reclaims heap values, but {e off-heap} resources (Bigarray
+    slabs, C buffers, descriptors) referenced from lock-free structures
+    still need a grace period before reuse. This is a DEBRA-style EBR over
+    deferred release callbacks — three rotating bags, round-robin
+    announcement scanning — with optional amortized draining (the paper's
+    AF) built in. *)
+
+type mode =
+  | Batch  (** release a whole bag when it becomes safe *)
+  | Amortized of int  (** release [k] callbacks per operation *)
+
+type t
+(** A reclamation domain shared by up to [max_domains] OCaml domains. *)
+
+type handle
+(** Per-domain participation handle. Handles are not thread-safe: use one
+    per domain. *)
+
+val create : ?mode:mode -> ?check_every:int -> max_domains:int -> unit -> t
+
+val register : t -> handle
+(** Register the calling domain.
+    @raise Invalid_argument beyond [max_domains]. *)
+
+val enter : handle -> unit
+(** Begin a protected operation: announce the epoch, participate in
+    advancement, release safe bags (or drain under [Amortized]). *)
+
+val exit : handle -> unit
+(** End the protected operation. *)
+
+val retire : handle -> (unit -> unit) -> unit
+(** Defer a release callback until every registered domain has started a
+    new operation after this point (with one epoch of skew slack: the bag
+    is released three epochs later). *)
+
+val current_epoch : t -> int
+val pending : handle -> int
+val retired : handle -> int
+val released : handle -> int
+
+val flush_unsafe : handle -> unit
+(** Release everything immediately; only safe once no other domain can
+    touch the retired resources (e.g. after joining all workers). *)

@@ -1,0 +1,62 @@
+(* Michael-Scott lock-free FIFO queue over real Atomics, carrying slab
+   block indices (plus the push-time sequence number, like Treiber_stack).
+
+   The MS queue is the other canonical SMR client: its dequeue retires the
+   old dummy node, and — when payloads are off-heap blocks — a racing
+   enqueuer that read a stale tail may still dereference the block, so
+   blocks must be retired through a grace period. Nodes themselves are
+   OCaml values and need no reclamation. *)
+
+type node = {
+  value : int;  (* slab block; meaningless on the dummy node *)
+  seq : int;
+  next : node option Atomic.t;
+}
+
+type t = { head : node Atomic.t; tail : node Atomic.t }
+
+let create () =
+  let dummy = { value = -1; seq = 0; next = Atomic.make None } in
+  { head = Atomic.make dummy; tail = Atomic.make dummy }
+
+let rec enqueue t ~value ~seq =
+  let node = { value; seq; next = Atomic.make None } in
+  let tail = Atomic.get t.tail in
+  match Atomic.get tail.next with
+  | None ->
+      if Atomic.compare_and_set tail.next None (Some node) then
+        (* Swing the tail; failure is fine (someone helped). *)
+        ignore (Atomic.compare_and_set t.tail tail node)
+      else begin
+        Domain.cpu_relax ();
+        enqueue t ~value ~seq
+      end
+  | Some next ->
+      (* Help the lagging tail along, then retry. *)
+      ignore (Atomic.compare_and_set t.tail tail next);
+      enqueue t ~value ~seq
+
+let rec dequeue t =
+  let head = Atomic.get t.head in
+  let tail = Atomic.get t.tail in
+  match Atomic.get head.next with
+  | None -> None
+  | Some next ->
+      if head == tail then begin
+        (* Tail lagging behind a non-empty queue: help and retry. *)
+        ignore (Atomic.compare_and_set t.tail tail next);
+        dequeue t
+      end
+      else if Atomic.compare_and_set t.head head next then Some (next.value, next.seq)
+      else begin
+        Domain.cpu_relax ();
+        dequeue t
+      end
+
+let is_empty t = Atomic.get (Atomic.get t.head).next = None
+
+let length t =
+  let rec go acc node =
+    match Atomic.get node.next with None -> acc | Some n -> go (acc + 1) n
+  in
+  go 0 (Atomic.get t.head)

@@ -1,0 +1,15 @@
+(** Michael-Scott lock-free FIFO queue over real Atomics, carrying slab
+    block indices with their push-time sequence numbers (see
+    {!Treiber_stack}). *)
+
+type t
+
+val create : unit -> t
+
+val enqueue : t -> value:int -> seq:int -> unit
+val dequeue : t -> (int * int) option
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** O(n) snapshot; for tests. *)

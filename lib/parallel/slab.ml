@@ -1,0 +1,72 @@
+(* Off-heap slab allocator over a Bigarray.
+
+   Fixed-size blocks carved from one off-heap buffer. The OCaml GC knows
+   nothing about block lifetimes — exactly the situation where epoch-based
+   reclamation earns its keep in multicore OCaml. Each block starts with a
+   sequence-number word that is bumped on every free: readers can detect
+   (in tests) that a block was recycled under them, the off-heap analogue
+   of a use-after-free. *)
+
+type t = {
+  data : (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t;
+  block_words : int;
+  blocks : int;
+  free_list : int list ref;  (* block indices *)
+  lock : Mutex.t;
+  mutable allocated : int;  (* running count of live blocks *)
+}
+
+let header_words = 1  (* sequence number *)
+
+let create ~blocks ~block_words =
+  if blocks <= 0 || block_words <= 0 then invalid_arg "Slab.create";
+  let words = blocks * (block_words + header_words) in
+  let data = Bigarray.Array1.create Bigarray.int Bigarray.c_layout words in
+  Bigarray.Array1.fill data 0;
+  {
+    data;
+    block_words;
+    blocks;
+    free_list = ref (List.init blocks (fun i -> i));
+    lock = Mutex.create ();
+    allocated = 0;
+  }
+
+let base t block = block * (t.block_words + header_words)
+
+(* Allocate a block; returns its index. *)
+let alloc t =
+  Mutex.lock t.lock;
+  match !(t.free_list) with
+  | [] ->
+      Mutex.unlock t.lock;
+      None
+  | b :: rest ->
+      t.free_list := rest;
+      t.allocated <- t.allocated + 1;
+      Mutex.unlock t.lock;
+      Some b
+
+(* Free a block: bump its sequence word so stale readers are detectable,
+   then return it to the free list. *)
+let free t block =
+  let hdr = base t block in
+  Bigarray.Array1.set t.data hdr (Bigarray.Array1.get t.data hdr + 1);
+  Mutex.lock t.lock;
+  t.free_list := block :: !(t.free_list);
+  t.allocated <- t.allocated - 1;
+  Mutex.unlock t.lock
+
+let sequence t block = Bigarray.Array1.get t.data (base t block)
+
+let write t block ~word v =
+  if word < 0 || word >= t.block_words then invalid_arg "Slab.write";
+  Bigarray.Array1.set t.data (base t block + header_words + word) v
+
+let read t block ~word =
+  if word < 0 || word >= t.block_words then invalid_arg "Slab.read";
+  Bigarray.Array1.get t.data (base t block + header_words + word)
+
+let live_blocks t = t.allocated
+let free_blocks t = List.length !(t.free_list)
+let capacity t = t.blocks

@@ -1,0 +1,28 @@
+(** Off-heap slab allocator over a Bigarray.
+
+    Fixed-size integer-word blocks carved from one off-heap buffer, with a
+    per-block sequence number bumped on every free so recycled-under-reader
+    blocks are detectable — the observable analogue of a use-after-free. *)
+
+type t
+
+val create : blocks:int -> block_words:int -> t
+(** @raise Invalid_argument on non-positive parameters. *)
+
+val alloc : t -> int option
+(** A free block index, or [None] when exhausted. Thread-safe. *)
+
+val free : t -> int -> unit
+(** Return a block (bumping its sequence number). Thread-safe. *)
+
+val sequence : t -> int -> int
+(** The block's current sequence number. *)
+
+val write : t -> int -> word:int -> int -> unit
+(** @raise Invalid_argument on an out-of-range word index. *)
+
+val read : t -> int -> word:int -> int
+
+val live_blocks : t -> int
+val free_blocks : t -> int
+val capacity : t -> int

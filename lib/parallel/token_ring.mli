@@ -1,0 +1,32 @@
+(** Real Token-EBR for multicore OCaml — the paper's algorithm over
+    Atomics, with the amortized-free policy built in (the default mode
+    makes it [token_af]).
+
+    Receiving the token means every domain began a new operation since the
+    last receipt, so the previous bag of release callbacks is safe. The
+    token is passed {e before} freeing (the paper's pass-first lesson). *)
+
+type mode = Batch | Amortized of int
+
+type t
+type handle
+
+val create : ?mode:mode -> max_domains:int -> unit -> t
+
+val register : t -> handle
+(** @raise Invalid_argument beyond [max_domains]. *)
+
+val enter : handle -> unit
+val exit : handle -> unit
+
+val retire : handle -> (unit -> unit) -> unit
+(** Defer a release callback until the token has made a full round past
+    this domain twice. *)
+
+val receipts : handle -> int
+val retired : handle -> int
+val released : handle -> int
+val pending : handle -> int
+
+val flush_unsafe : handle -> unit
+(** Release everything; only safe after all other domains stopped. *)

@@ -1,0 +1,38 @@
+(* Lock-free Treiber stack over real Atomics, carrying slab block indices.
+
+   Nodes are ordinary OCaml values (the GC reclaims them), but the payload
+   is an off-heap slab block: after a pop the block may still be read by a
+   domain that lost the CAS race, so it must be retired through EBR rather
+   than freed immediately. [pop] returns the block *and* the sequence
+   number observed before the CAS, letting tests detect recycled-under-us
+   blocks. *)
+
+type node = Nil | Node of { value : int; seq : int; next : node }
+
+type t = { head : node Atomic.t }
+
+let create () = { head = Atomic.make Nil }
+
+let rec push t ~value ~seq =
+  let old = Atomic.get t.head in
+  let n = Node { value; seq; next = old } in
+  if not (Atomic.compare_and_set t.head old n) then begin
+    Domain.cpu_relax ();
+    push t ~value ~seq
+  end
+
+let rec pop t =
+  match Atomic.get t.head with
+  | Nil -> None
+  | Node { value; seq; next } as old ->
+      if Atomic.compare_and_set t.head old next then Some (value, seq)
+      else begin
+        Domain.cpu_relax ();
+        pop t
+      end
+
+let is_empty t = Atomic.get t.head = Nil
+
+let length t =
+  let rec go acc = function Nil -> acc | Node { next; _ } -> go (acc + 1) next in
+  go 0 (Atomic.get t.head)

@@ -1,0 +1,16 @@
+(** Lock-free Treiber stack over real Atomics, carrying slab block indices
+    together with the sequence number observed at push time, so consumers
+    can detect blocks recycled without a grace period. *)
+
+type t
+
+val create : unit -> t
+
+val push : t -> value:int -> seq:int -> unit
+val pop : t -> (int * int) option
+(** [(value, seq)] of the popped node. *)
+
+val is_empty : t -> bool
+
+val length : t -> int
+(** O(n) snapshot; for tests. *)

@@ -1,0 +1,56 @@
+(* ASCII line charts: series of (x, y) points rendered on a character grid,
+   one marker letter per series — the terminal rendition of the paper's
+   throughput-vs-threads figures. *)
+
+type series = { label : string; marker : char; points : (float * float) list }
+
+let markers = "abcdefghijklmnopqrstuvwxyz"
+
+let make_series labels_points =
+  List.mapi
+    (fun i (label, points) -> { label; marker = markers.[i mod String.length markers]; points })
+    labels_points
+
+let render ?(width = 78) ?(height = 20) ?(y_label = "") ?(x_label = "") series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  match all_points with
+  | [] -> "(no data)\n"
+  | _ ->
+      let xs = List.map fst all_points and ys = List.map snd all_points in
+      let xmin = List.fold_left Float.min (List.hd xs) xs in
+      let xmax = List.fold_left Float.max (List.hd xs) xs in
+      let ymin = 0. in
+      let ymax = List.fold_left Float.max (List.hd ys) ys in
+      let ymax = if ymax <= ymin then ymin +. 1. else ymax in
+      let xspan = if xmax > xmin then xmax -. xmin else 1. in
+      let grid = Array.make_matrix height width ' ' in
+      let plot s =
+        List.iter
+          (fun (x, y) ->
+            let c = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+            let r =
+              height - 1
+              - int_of_float ((y -. ymin) /. (ymax -. ymin) *. float_of_int (height - 1))
+            in
+            let r = max 0 (min (height - 1) r) and c = max 0 (min (width - 1) c) in
+            grid.(r).(c) <- s.marker)
+          s.points
+      in
+      List.iter plot series;
+      let buf = Buffer.create 2048 in
+      if y_label <> "" then Buffer.add_string buf (Printf.sprintf "%s\n" y_label);
+      Array.iteri
+        (fun r row ->
+          let y =
+            ymax -. (float_of_int r /. float_of_int (height - 1) *. (ymax -. ymin))
+          in
+          Buffer.add_string buf (Printf.sprintf "%8.1f |%s|\n" (y /. 1e6) (String.init width (Array.get row))))
+        grid;
+      Buffer.add_string buf
+        (Printf.sprintf "%8s +%s+\n" "" (String.make width '-'));
+      Buffer.add_string buf
+        (Printf.sprintf "%9s%-8.0f%*s%8.0f   %s\n" "" xmin (width - 16) "" xmax x_label);
+      List.iter
+        (fun s -> Buffer.add_string buf (Printf.sprintf "   %c = %s\n" s.marker s.label))
+        series;
+      Buffer.contents buf

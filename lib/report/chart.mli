@@ -1,0 +1,12 @@
+(** ASCII line charts: the terminal rendition of the paper's
+    throughput-vs-threads figures. *)
+
+type series = { label : string; marker : char; points : (float * float) list }
+
+val make_series : (string * (float * float) list) list -> series list
+(** Assign a distinct marker letter per series. *)
+
+val render :
+  ?width:int -> ?height:int -> ?y_label:string -> ?x_label:string -> series list -> string
+(** Scatter the points on a character grid with a legend; the y axis is
+    printed in millions. Empty input renders ["(no data)\n"]. *)

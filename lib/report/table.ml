@@ -1,0 +1,49 @@
+(* Plain-text table rendering for paper-style result tables. *)
+
+type align = Left | Right
+
+type t = { headers : string list; mutable rows : string list list }
+
+let create headers = { headers; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: column count mismatch";
+  t.rows <- row :: t.rows
+
+let render ?(align = Right) t =
+  let rows = List.rev t.rows in
+  let all = t.headers :: rows in
+  let ncols = List.length t.headers in
+  let width c =
+    List.fold_left (fun w row -> max w (String.length (List.nth row c))) 0 all
+  in
+  let widths = List.init ncols width in
+  let pad w s =
+    let fill = String.make (max 0 (w - String.length s)) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let line row =
+    String.concat "  " (List.map2 pad widths row)
+  in
+  let sep = String.concat "  " (List.map (fun w -> String.make w '-') widths) in
+  String.concat "\n" (line t.headers :: sep :: List.map line rows) ^ "\n"
+
+(* Formatting helpers shared by tables and charts. *)
+let mops v = Printf.sprintf "%.1fM" (v /. 1e6)
+
+let bytes v =
+  let v = float_of_int v in
+  if v >= 1e9 then Printf.sprintf "%.2fGB" (v /. 1e9)
+  else if v >= 1e6 then Printf.sprintf "%.1fMB" (v /. 1e6)
+  else if v >= 1e3 then Printf.sprintf "%.1fKB" (v /. 1e3)
+  else Printf.sprintf "%.0fB" v
+
+let count v =
+  let v' = float_of_int v in
+  if v' >= 1e9 then Printf.sprintf "%.2fG" (v' /. 1e9)
+  else if v' >= 1e6 then Printf.sprintf "%.1fM" (v' /. 1e6)
+  else if v' >= 1e3 then Printf.sprintf "%.1fK" (v' /. 1e3)
+  else string_of_int v
+
+let pct v = Printf.sprintf "%.1f" v

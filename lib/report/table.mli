@@ -1,0 +1,20 @@
+(** Plain-text tables and number formatting for paper-style output. *)
+
+type align = Left | Right
+
+type t
+
+val create : string list -> t
+(** [create headers] is an empty table. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument on a column-count mismatch. *)
+
+val render : ?align:align -> t -> string
+
+val mops : float -> string
+(** ["43.4M"]-style operations per second. *)
+
+val bytes : int -> string
+val count : int -> string
+val pct : float -> string

@@ -1,0 +1,70 @@
+(* Experiment configuration: the paper's methodology (§3) as a record.
+
+   Defaults are scaled down from the paper's testbed (2x10^7 keys, 5 s
+   trials) so a full figure regenerates on one core in minutes: the shapes
+   of the phenomena, not the absolute numbers, are the target. *)
+
+open Simcore
+
+(* Key-access distribution of the workload. *)
+type key_dist = Uniform | Zipf of float  (* skew exponent, e.g. 0.99 *)
+
+type t = {
+  ds : string;  (* data structure, see Ds.Ds_registry.names *)
+  smr : string;  (* reclaimer; an "_af" suffix selects amortized freeing *)
+  alloc : string;  (* allocator model, see Alloc.Registry.names *)
+  threads : int;
+  topology : Topology.t;
+  key_range : int;  (* keys drawn from [0, key_range) *)
+  key_dist : key_dist;
+  insert_pct : float;  (* fraction of operations that are inserts *)
+  delete_pct : float;  (* fraction that are deletes; rest are lookups *)
+  warmup_ns : int;  (* settle time after prefill, before measuring *)
+  duration_ns : int;  (* measured window *)
+  grace_ns : int;  (* how far past the deadline stuck threads may run *)
+  seed : int;
+  trials : int;
+  validate : bool;  (* enable the grace-period safety validator *)
+  timeline : bool;  (* record timeline graphs *)
+  timeline_min_free_ns : int;  (* smallest free call recorded as a box *)
+  af_drain : int;  (* objects freed per op under amortized freeing *)
+  token_period : int;  (* Periodic Token-EBR check interval (paper: 100) *)
+  buffer_size : int;
+      (* batch size for buffered reclaimers. The paper uses 32K objects with
+         5-second trials; our virtual trials are ~100x shorter, so the
+         scale-equivalent default is 384 (same number of reclamation passes
+         per trial). *)
+  debra_check_every : int;  (* ops between DEBRA announcement scans *)
+  alloc_config : Alloc.Alloc_intf.config;
+  cost : Cost_model.t;
+}
+
+let default =
+  {
+    ds = "abtree";
+    smr = "debra";
+    alloc = "jemalloc";
+    threads = 192;
+    topology = Topology.intel_192t;
+    key_range = 1 lsl 14;
+    key_dist = Uniform;
+    insert_pct = 0.5;
+    delete_pct = 0.5;
+    warmup_ns = 2_000_000;
+    duration_ns = 30_000_000;
+    grace_ns = 30_000_000;
+    seed = 42;
+    trials = 3;
+    validate = false;
+    timeline = false;
+    timeline_min_free_ns = 1_000;
+    af_drain = 1;
+    token_period = 100;
+    buffer_size = 384;
+    debra_check_every = 3;
+    alloc_config = Alloc.Alloc_intf.default_config;
+    cost = Cost_model.default;
+  }
+
+let label cfg =
+  Printf.sprintf "%s/%s/%s n=%d" cfg.ds cfg.smr cfg.alloc cfg.threads

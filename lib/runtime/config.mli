@@ -1,0 +1,43 @@
+(** Experiment configuration — the paper's methodology (§3) as a record.
+
+    Defaults are scaled down from the paper's testbed (2×10^7 keys, 5 s
+    trials) so a full figure regenerates on one core in minutes; the shapes
+    of the phenomena, not the absolute numbers, are the target. *)
+
+open Simcore
+
+(** Key-access distribution of the workload. *)
+type key_dist = Uniform | Zipf of float  (** skew exponent, e.g. [Zipf 0.99] *)
+
+type t = {
+  ds : string;  (** data structure; see {!Ds.Ds_registry.names} *)
+  smr : string;  (** reclaimer; an ["_af"] suffix selects amortized freeing *)
+  alloc : string;  (** allocator model; see {!Alloc.Registry.names} *)
+  threads : int;
+  topology : Topology.t;
+  key_range : int;  (** keys drawn from [\[0, key_range)] *)
+  key_dist : key_dist;
+  insert_pct : float;
+  delete_pct : float;  (** remainder of the mix are lookups *)
+  warmup_ns : int;  (** settle time after prefill, before measuring *)
+  duration_ns : int;  (** measured window *)
+  grace_ns : int;  (** how far past the deadline stuck threads may run *)
+  seed : int;
+  trials : int;
+  validate : bool;  (** arm the grace-period safety validator *)
+  timeline : bool;  (** record timeline graphs *)
+  timeline_min_free_ns : int;
+  af_drain : int;  (** objects freed per op under amortized freeing *)
+  token_period : int;  (** Periodic Token-EBR check interval (paper: 100) *)
+  buffer_size : int;
+      (** buffered-reclaimer batch; 384 is the scale-equivalent of the
+          paper's 32K at its 100x longer trials *)
+  debra_check_every : int;
+  alloc_config : Alloc.Alloc_intf.config;
+  cost : Cost_model.t;
+}
+
+val default : t
+
+val label : t -> string
+(** One-line description, e.g. ["abtree/debra/jemalloc n=192"]. *)

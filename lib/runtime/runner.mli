@@ -1,0 +1,12 @@
+(** The trial engine.
+
+    Builds the full stack (scheduler, allocator, free policy, reclaimer,
+    data structure), prefills the structure to its steady-state size
+    (half the key range), then runs the paper's workload — every thread
+    repeatedly flips a coin and inserts or deletes a uniform random key —
+    measuring a fixed window of virtual time after a warmup. *)
+
+val run_trial : Config.t -> seed:int -> Trial.t
+
+val run : Config.t -> Trial.t list
+(** [run cfg] performs [cfg.trials] trials with consecutive seeds. *)

@@ -1,0 +1,64 @@
+(* Result of a single trial. *)
+
+open Simcore
+
+type t = {
+  config_label : string;
+  throughput : float;  (* operations per virtual second, measured window *)
+  ops : int;  (* operations in the measured window *)
+  duration_ns : int;
+  (* memory *)
+  peak_mapped_bytes : int;  (* memory ever obtained from the virtual OS *)
+  peak_live_bytes : int;
+  final_size : int;
+  (* reclamation *)
+  freed : int;  (* objects returned to the allocator in the window *)
+  retired : int;
+  allocs : int;
+  epochs : int;  (* epoch advances / reclamation passes in the window *)
+  remote_frees : int;
+  flushes : int;
+  end_garbage : int;  (* unreclaimed objects when the trial ended *)
+  (* perf-style breakdown over the measured window *)
+  pct_free : float;
+  pct_flush : float;
+  pct_lock : float;
+  pct_ds : float;
+  (* garbage dynamics *)
+  garbage_by_epoch : (int * int) list;  (* epoch -> sum of per-thread reports *)
+  peak_epoch_garbage : int;
+  avg_epoch_garbage : float;
+  (* distributions / visualizations *)
+  free_hist : Histogram.t;
+  op_hist : Histogram.t;
+      (* virtual latency of whole operations: batch frees ride inside
+         unlucky operations, so reclamation policy shows up in the tail *)
+  timeline_reclaim : Timeline.t option;
+  timeline_free : Timeline.t option;
+  measure_start : int;
+  deadline : int;
+  (* safety *)
+  violations : int;
+}
+
+let mops t = t.throughput /. 1e6
+
+(* Tail latency of operations (ns, bucket resolution). *)
+let op_p t p = Histogram.percentile t.op_hist p
+
+(* Mean / min / max of a statistic over trials — the paper's error bars. *)
+type summary = { mean : float; min : float; max : float }
+
+let summarize f trials =
+  match List.map f trials with
+  | [] -> { mean = 0.; min = 0.; max = 0. }
+  | x :: _ as xs ->
+      let sum = List.fold_left ( +. ) 0. xs in
+      {
+        mean = sum /. float_of_int (List.length xs);
+        min = List.fold_left Float.min x xs;
+        max = List.fold_left Float.max x xs;
+      }
+
+let throughput_summary = summarize (fun t -> t.throughput)
+let peak_memory_summary = summarize (fun t -> float_of_int t.peak_mapped_bytes)

@@ -1,0 +1,48 @@
+(** Result of a single trial. *)
+
+open Simcore
+
+type t = {
+  config_label : string;
+  throughput : float;  (** operations per virtual second, measured window *)
+  ops : int;
+  duration_ns : int;
+  peak_mapped_bytes : int;  (** memory ever obtained from the virtual OS *)
+  peak_live_bytes : int;
+  final_size : int;
+  freed : int;  (** objects returned to the allocator in the window *)
+  retired : int;
+  allocs : int;
+  epochs : int;  (** epoch advances / reclamation passes in the window *)
+  remote_frees : int;
+  flushes : int;
+  end_garbage : int;  (** unreclaimed objects when the trial ended *)
+  pct_free : float;  (** perf-style inclusive shares of the window *)
+  pct_flush : float;
+  pct_lock : float;
+  pct_ds : float;
+  garbage_by_epoch : (int * int) list;
+      (** per epoch: sum over threads of limbo-bag sizes on entry (Fig 4) *)
+  peak_epoch_garbage : int;
+  avg_epoch_garbage : float;
+  free_hist : Histogram.t;  (** individual free-call latencies *)
+  op_hist : Histogram.t;
+      (** whole-operation latencies: reclamation policy shows in the tail *)
+  timeline_reclaim : Timeline.t option;
+  timeline_free : Timeline.t option;
+  measure_start : int;
+  deadline : int;
+  violations : int;  (** grace-period violations (0 when not validating) *)
+}
+
+val mops : t -> float
+
+val op_p : t -> float -> int
+(** Operation-latency percentile in ns (bucket resolution). *)
+
+(** Mean / min / max over trials — the paper's error bars. *)
+type summary = { mean : float; min : float; max : float }
+
+val summarize : (t -> float) -> t list -> summary
+val throughput_summary : t list -> summary
+val peak_memory_summary : t list -> summary

@@ -1,0 +1,88 @@
+(* The virtual-time cost model.
+
+   All costs are in virtual nanoseconds. Defaults are order-of-magnitude
+   figures for a ~2 GHz server: an L1 hit is ~1 ns, a last-level-cache miss
+   ~100 ns, a cross-socket cache line transfer 2-3x that, an uncontended
+   lock acquisition ~20 ns. They are deliberately simple — the paper's
+   phenomena come from *ratios* (remote vs local free, cache hit vs arena
+   refill) and from lock queueing, not from absolute latencies. *)
+
+type t = {
+  (* -- data structure traversal -- *)
+  node_access : int;
+      (* cost of touching one data structure node (expected mix of cache
+         hits and misses on a shared tree) *)
+  node_access_remote_extra : int;
+      (* additional per-node cost when the workload spans several sockets
+         and coherence traffic crosses the interconnect *)
+  op_fixed : int;  (* fixed per-operation overhead (dispatch, rng, ...) *)
+  smt_factor : float;
+      (* multiplier on CPU work when two threads share a physical core *)
+  (* -- allocator fast paths -- *)
+  cache_push : int;  (* free: push into a thread cache / local list *)
+  cache_pop : int;  (* alloc: pop from a thread cache / local list *)
+  (* -- allocator slow paths -- *)
+  flush_per_object : int;
+      (* bookkeeping to return one object to an owner bin during a flush,
+         excluding lock waiting *)
+  flush_scan_per_object : int;
+      (* JEmalloc's flush iterates over the *whole* remaining buffer once
+         per destination bin, while holding that bin's lock: this is the
+         per-buffer-entry scan cost, the quadratic heart of the RBF problem *)
+  refill_per_object : int;  (* refilling a thread cache from an arena *)
+  fresh_page : int;
+      (* first-touch cost of memory never allocated before (page fault,
+         zeroing) — charged per page *)
+  fresh_object_touch : int;
+      (* compulsory cache misses on a never-used object; recycled objects
+         skip this, which is part of why reclaiming beats leaking *)
+  (* -- locks -- *)
+  lock_acquire : int;  (* uncontended acquire+release *)
+  lock_remote_extra : int;
+      (* extra cost when the lock cache line comes from another socket *)
+  lock_wake_local : int;
+      (* futex wake latency when the releasing thread is on the same
+         socket; paid before the woken thread proceeds, so back-to-back
+         sleepers form a convoy whose service time includes the wakes —
+         the je_malloc_mutex_lock_slow pattern of the paper's perf traces *)
+  lock_wake_remote : int;  (* as above, across sockets (IPI + reschedule) *)
+  lock_spin_ns : int;
+      (* how long an acquirer spins before sleeping: waits shorter than
+         this stay on the cheap spin path *)
+  (* -- SMR primitives -- *)
+  announce : int;  (* write own epoch/era announcement *)
+  read_slot : int;  (* read one other thread's announcement slot *)
+  protect : int;  (* publish one hazard pointer / era *)
+  signal : int;  (* deliver one POSIX signal (NBR neutralization) *)
+  retire : int;  (* push one object into a limbo bag *)
+}
+
+let default =
+  {
+    node_access = 110;
+    node_access_remote_extra = 60;
+    op_fixed = 60;
+    smt_factor = 1.4;
+    cache_push = 22;
+    cache_pop = 18;
+    flush_per_object = 60;
+    flush_scan_per_object = 8;
+    refill_per_object = 60;
+    fresh_page = 2200;
+    fresh_object_touch = 320;
+    lock_acquire = 22;
+    lock_remote_extra = 140;
+    lock_wake_local = 800;
+    lock_wake_remote = 6000;
+    lock_spin_ns = 2500;
+    announce = 6;
+    read_slot = 20;
+    protect = 9;
+    signal = 2200;
+    retire = 5;
+  }
+
+(* Per-node cost as a function of how many sockets are active: coherence
+   misses on a shared structure get more expensive as the span widens. *)
+let node_cost t ~sockets_used =
+  t.node_access + (t.node_access_remote_extra * (max 0 (sockets_used - 1)))

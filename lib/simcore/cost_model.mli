@@ -1,0 +1,49 @@
+(** The virtual-time cost model.
+
+    All costs are in virtual nanoseconds. The defaults are calibrated so
+    that the scaled-down workloads of this reproduction exhibit the paper's
+    phenomena with the right shapes: they encode *ratios* (remote vs local
+    transfers, cache hits vs arena refills, spin vs futex sleep), not
+    absolute measurements of any particular machine. *)
+
+type t = {
+  node_access : int;
+      (** cost of touching one data structure node; calibrated to a
+          DRAM-resident tree like the paper's 20M-key ABtree *)
+  node_access_remote_extra : int;
+      (** additional per-node cost per extra active socket *)
+  op_fixed : int;  (** fixed per-operation overhead *)
+  smt_factor : float;
+      (** multiplier on CPU work when two threads share a physical core *)
+  cache_push : int;  (** free fast path: push into a thread cache *)
+  cache_pop : int;  (** alloc fast path: pop from a thread cache *)
+  flush_per_object : int;
+      (** bookkeeping to return one object to an owner bin during a flush *)
+  flush_scan_per_object : int;
+      (** JEmalloc's flush scans the whole remaining buffer once per
+          destination bin while holding its lock: per-entry scan cost —
+          the quadratic heart of the RBF problem *)
+  refill_per_object : int;  (** refilling a thread cache from an arena *)
+  fresh_page : int;  (** first-touch cost of new memory, per page *)
+  fresh_object_touch : int;
+      (** compulsory cache misses on a never-used object; recycled objects
+          skip this — part of why reclaiming beats leaking *)
+  lock_acquire : int;  (** uncontended acquire+release *)
+  lock_remote_extra : int;  (** cross-socket lock line transfer *)
+  lock_wake_local : int;
+      (** futex wake latency, same socket; chains into convoys *)
+  lock_wake_remote : int;  (** futex wake latency across sockets *)
+  lock_spin_ns : int;
+      (** spin budget: shorter waits never sleep *)
+  announce : int;  (** write an epoch/era announcement slot *)
+  read_slot : int;  (** read another thread's announcement slot *)
+  protect : int;  (** publish one hazard pointer / era *)
+  signal : int;  (** deliver one POSIX signal (NBR) *)
+  retire : int;  (** push one object into a limbo bag *)
+}
+
+val default : t
+
+val node_cost : t -> sockets_used:int -> int
+(** Per-node traversal cost as a function of active sockets: coherence
+    misses on a shared structure grow with the NUMA span. *)

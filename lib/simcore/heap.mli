@@ -1,0 +1,20 @@
+(** Binary min-heap keyed by [(time, sequence)].
+
+    The insertion sequence number breaks ties, which makes the scheduler
+    deterministic: events with equal timestamps pop in insertion order. *)
+
+type 'a t
+
+val create : dummy:'a -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> key:int -> seq:int -> 'a -> unit
+(** [push h ~key ~seq x] inserts [x] with primary key [key] (virtual time)
+    and tie-break [seq]. *)
+
+val pop : 'a t -> 'a option
+(** Removes and returns the minimum element. *)
+
+val peek_key : 'a t -> int option
+(** The minimum key without removing it. *)

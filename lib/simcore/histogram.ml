@@ -1,0 +1,70 @@
+(* Logarithmic latency histogram (power-of-two buckets of nanoseconds).
+   Used to characterise the distribution of individual free-call latencies,
+   the quantity visualised by the paper's Figures 3 and 17. *)
+
+let buckets = 48
+
+type t = { counts : int array; mutable total : int; mutable max_value : int }
+
+let create () = { counts = Array.make buckets 0; total = 0; max_value = 0 }
+
+let bucket_of v =
+  if v <= 0 then 0
+  else begin
+    let b = ref 0 in
+    let v = ref v in
+    while !v > 1 && !b < buckets - 1 do
+      v := !v lsr 1;
+      incr b
+    done;
+    !b
+  end
+
+let add t v =
+  let b = bucket_of v in
+  t.counts.(b) <- t.counts.(b) + 1;
+  t.total <- t.total + 1;
+  if v > t.max_value then t.max_value <- v
+
+let total t = t.total
+let max_value t = t.max_value
+
+(* Number of recorded values strictly above [threshold] ns. Counts whole
+   buckets, so the answer is exact only for power-of-two thresholds; callers
+   use it for "how many free calls exceeded 0.1 ms"-style questions where
+   bucket resolution is fine. *)
+let count_above t threshold =
+  let b = bucket_of threshold in
+  let n = ref 0 in
+  for i = b + 1 to buckets - 1 do
+    n := !n + t.counts.(i)
+  done;
+  !n
+
+let merge into t =
+  Array.iteri (fun i c -> into.counts.(i) <- into.counts.(i) + c) t.counts;
+  into.total <- into.total + t.total;
+  if t.max_value > into.max_value then into.max_value <- t.max_value
+
+(* Approximate p-th percentile (0 < p <= 100) as the upper bound of the
+   bucket containing it. *)
+let percentile t p =
+  if t.total = 0 then 0
+  else begin
+    let rank = int_of_float (ceil (float_of_int t.total *. p /. 100.)) in
+    let seen = ref 0 in
+    let result = ref 0 in
+    (try
+       for i = 0 to buckets - 1 do
+         seen := !seen + t.counts.(i);
+         if !seen >= rank then begin
+           result := 1 lsl i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    !result
+  end
+
+let iter f t =
+  Array.iteri (fun i c -> if c > 0 then f ~lower:(1 lsl i) ~count:c) t.counts

@@ -1,0 +1,37 @@
+(** Logarithmic latency histogram (power-of-two nanosecond buckets).
+
+    Characterises the distribution of individual free-call latencies — the
+    quantity behind the paper's Figures 3 and 17. *)
+
+type t
+
+val buckets : int
+(** Number of buckets; bucket [b] covers [\[2^b, 2^(b+1))]. *)
+
+val create : unit -> t
+
+val bucket_of : int -> int
+(** Bucket index of a value (clamped to the last bucket). *)
+
+val add : t -> int -> unit
+(** Record one value (nanoseconds). *)
+
+val total : t -> int
+(** Number of recorded values. *)
+
+val max_value : t -> int
+(** Largest recorded value. *)
+
+val count_above : t -> int -> int
+(** [count_above t v] counts recorded values in buckets strictly above
+    [v]'s bucket; exact for power-of-two thresholds. *)
+
+val merge : t -> t -> unit
+(** [merge into t] accumulates [t] into [into]. *)
+
+val percentile : t -> float -> int
+(** [percentile t p] approximates the [p]-th percentile as the lower bound
+    of its bucket ([0 < p <= 100]); [0] when empty. *)
+
+val iter : (lower:int -> count:int -> unit) -> t -> unit
+(** Iterate non-empty buckets, with each bucket's lower bound. *)

@@ -1,0 +1,38 @@
+(* SplitMix64 pseudo-random number generator.
+
+   Deterministic, splittable and very fast; every simulated thread carries
+   its own stream so experiments are reproducible regardless of scheduling
+   order. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let copy t = { state = t.state }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let next_int64 t =
+  t.state <- Int64.add t.state golden;
+  let z = t.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+(* Non-negative 62-bit int. *)
+let next_int t = Int64.to_int (Int64.shift_right_logical (next_int64 t) 2)
+
+let int_below t n =
+  if n <= 0 then invalid_arg "Rng.int_below: bound must be positive";
+  next_int t mod n
+
+let float t =
+  (* 53 random bits mapped to [0, 1). *)
+  let bits = Int64.to_int (Int64.shift_right_logical (next_int64 t) 11) in
+  float_of_int bits *. 0x1p-53
+
+let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* Derive an independent stream; used to give each simulated thread its own
+   generator from a single experiment seed. *)
+let split t = create (Int64.to_int (next_int64 t))

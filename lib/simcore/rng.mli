@@ -1,0 +1,31 @@
+(** SplitMix64 pseudo-random number generator.
+
+    Deterministic and splittable: every simulated thread carries its own
+    stream derived from the experiment seed, so results are exactly
+    reproducible regardless of scheduling order. *)
+
+type t
+
+val create : int -> t
+(** [create seed] is a fresh generator. *)
+
+val copy : t -> t
+(** [copy t] continues independently from [t]'s current state. *)
+
+val next_int64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val next_int : t -> int
+(** A non-negative 62-bit integer. *)
+
+val int_below : t -> int -> int
+(** [int_below t n] is uniform in [\[0, n)].
+    @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool
+
+val split : t -> t
+(** [split t] derives an independent stream, advancing [t]. *)

@@ -1,0 +1,227 @@
+(* The discrete-event scheduler.
+
+   Simulated threads are OCaml 5 effect-handler coroutines. Each thread has a
+   local virtual clock; CPU work advances the clock without yielding, and at
+   *checkpoints* (data structure operation boundaries and every virtual lock
+   acquisition) the thread yields, letting the scheduler resume whichever
+   thread has the smallest clock. This min-clock discipline guarantees that
+   lock acquisitions happen in (near) global virtual-time order, which is
+   what makes lock queueing — and therefore the remote-batch-free problem —
+   come out of the model rather than being scripted in.
+
+   Determinism: for fixed seeds and parameters the simulation is exactly
+   reproducible, because ties are broken by insertion sequence. *)
+
+type hooks = {
+  mutable on_reclaim_event : start:int -> stop:int -> count:int -> unit;
+      (* a batch of objects was freed (paper: a "reclamation event") *)
+  mutable on_epoch_advance : time:int -> epoch:int -> unit;
+  mutable on_free_call : start:int -> stop:int -> unit;
+      (* one allocator [free] call completed *)
+  mutable on_epoch_garbage : epoch:int -> count:int -> unit;
+      (* unreclaimed objects held by this thread when it entered [epoch] *)
+}
+
+let no_hooks () =
+  {
+    on_reclaim_event = (fun ~start:_ ~stop:_ ~count:_ -> ());
+    on_epoch_advance = (fun ~time:_ ~epoch:_ -> ());
+    on_free_call = (fun ~start:_ ~stop:_ -> ());
+    on_epoch_garbage = (fun ~epoch:_ ~count:_ -> ());
+  }
+
+type thread = {
+  tid : int;
+  socket : int;
+  core : int;
+  cpu_factor : float;  (* >1 when sharing a physical core (SMT) *)
+  rng : Rng.t;
+  metrics : Metrics.t;
+  sched : t;
+  hooks : hooks;
+  mutable clock : int;
+  mutable in_free : bool;  (* inside an allocator free call *)
+  mutable in_flush : bool;  (* inside a cache flush *)
+  mutable atomic_depth : int;  (* > 0 suppresses checkpoints (see [atomically]) *)
+  mutable next_preempt : int;  (* next involuntary context switch (oversubscription) *)
+  mutable suspended : (unit -> unit) option;  (* resume thunk while blocked *)
+}
+
+and t = {
+  heap : (unit -> unit) Heap.t;
+  mutable seq : int;
+  cost : Cost_model.t;
+  topology : Topology.t;
+  n_threads : int;
+  mutable threads : thread array;
+  mutable stopped : bool;  (* set by [stop]: drains without resuming *)
+  oversub : float;  (* software threads per logical CPU; > 1 = oversubscribed *)
+  quantum : int;  (* scheduling timeslice under oversubscription, virtual ns *)
+}
+
+type _ Effect.t += Yield : thread -> unit Effect.t
+type _ Effect.t += Suspend : thread -> unit Effect.t
+
+let quantum_ns = 1_000_000  (* 1 virtual ms, a Linux-like timeslice *)
+
+let create ?(cost = Cost_model.default) ~topology ~n_threads ~seed () =
+  if n_threads <= 0 then invalid_arg "Sched.create: n_threads must be positive";
+  let sched =
+    {
+      heap = Heap.create ~dummy:(fun () -> ());
+      seq = 0;
+      cost;
+      topology;
+      n_threads;
+      threads = [||];
+      stopped = false;
+      oversub = Topology.oversubscription topology ~n:n_threads;
+      quantum = quantum_ns;
+    }
+  in
+  let root_rng = Rng.create seed in
+  let mk tid =
+    {
+      tid;
+      socket = Topology.socket_of_thread topology tid;
+      core = Topology.core_of_thread topology tid;
+      cpu_factor =
+        (if Topology.shares_core topology ~n:n_threads tid then cost.Cost_model.smt_factor
+         else 1.0);
+      rng = Rng.split root_rng;
+      metrics = Metrics.create ();
+      sched;
+      hooks = no_hooks ();
+      clock = 0;
+      in_free = false;
+      in_flush = false;
+      atomic_depth = 0;
+      next_preempt = quantum_ns + (tid * quantum_ns / n_threads);
+      suspended = None;
+    }
+  in
+  sched.threads <- Array.init n_threads mk;
+  sched
+
+let threads t = t.threads
+let thread t i = t.threads.(i)
+let cost t = t.cost
+let topology t = t.topology
+let n_threads t = t.n_threads
+
+let enqueue sched ~key f =
+  sched.seq <- sched.seq + 1;
+  Heap.push sched.heap ~key ~seq:sched.seq f
+
+(* Advance [th]'s clock by [ns] of *CPU work*, scaled by the SMT factor and
+   attributed to [bucket]. Does not yield. *)
+let work ?(scaled = true) th bucket ns =
+  if ns < 0 then invalid_arg "Sched.work: negative cost";
+  let ns = if scaled then int_of_float (float_of_int ns *. th.cpu_factor +. 0.5) else ns in
+  th.clock <- th.clock + ns;
+  Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns
+
+(* Advance the clock by waiting time (not CPU work: no SMT scaling). *)
+let wait th bucket ns =
+  if ns > 0 then begin
+    th.clock <- th.clock + ns;
+    Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns
+  end
+
+let now th = th.clock
+
+(* Under oversubscription a thread that has used up its timeslice loses the
+   CPU to the other software threads sharing its logical processor: it goes
+   idle for (k-1) timeslices. This is what makes thread counts beyond the
+   machine so hostile to EBR — a preempted thread cannot announce, so the
+   epoch stalls (the paper's 240-thread runs). *)
+let maybe_preempt th =
+  if th.sched.oversub > 1.0 && th.clock >= th.next_preempt then begin
+    let away =
+      int_of_float ((th.sched.oversub -. 1.0) *. float_of_int th.sched.quantum)
+    in
+    wait th Metrics.Idle away;
+    th.next_preempt <- th.clock + th.sched.quantum
+  end
+
+(* Yield to the scheduler; resumes when this thread is again minimal.
+   Suppressed inside [atomically] sections. *)
+let checkpoint th =
+  if th.atomic_depth = 0 then begin
+    maybe_preempt th;
+    Effect.perform (Yield th)
+  end
+
+(* Run [f] as an atomic block: no other simulated thread is interleaved
+   (checkpoints are suppressed), modelling a linearizable data structure
+   operation. Virtual-time costs still accrue; lock contention inside the
+   block degrades to release-time ([available_at]) serialization. *)
+let atomically th f =
+  th.atomic_depth <- th.atomic_depth + 1;
+  Fun.protect ~finally:(fun () -> th.atomic_depth <- th.atomic_depth - 1) f
+
+(* Block until another thread calls [ready]. *)
+let suspend th = Effect.perform (Suspend th)
+
+let ready th =
+  match th.suspended with
+  | None -> invalid_arg "Sched.ready: thread is not suspended"
+  | Some k ->
+      th.suspended <- None;
+      enqueue th.sched ~key:th.clock k
+
+let spawn sched th body =
+  let handled () =
+    Effect.Deep.match_with body th
+      {
+        Effect.Deep.retc = (fun () -> ());
+        exnc = (fun e -> raise e);
+        effc =
+          (fun (type a) (eff : a Effect.t) ->
+            match eff with
+            | Yield th ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    if th.sched.stopped then ()
+                    else
+                      enqueue th.sched ~key:th.clock (fun () ->
+                          Effect.Deep.continue k ()))
+            | Suspend th ->
+                Some
+                  (fun (k : (a, unit) Effect.Deep.continuation) ->
+                    if th.sched.stopped then ()
+                    else th.suspended <- Some (fun () -> Effect.Deep.continue k ()))
+            | _ -> None);
+      }
+  in
+  enqueue sched ~key:th.clock handled
+
+(* Run until no runnable thread remains. Threads still suspended on a lock
+   when the heap drains are abandoned (their continuations are dropped),
+   which models the end of a timed trial. *)
+let run sched =
+  let rec loop () =
+    match Heap.pop sched.heap with
+    | None -> ()
+    | Some f ->
+        f ();
+        loop ()
+  in
+  loop ()
+
+(* Run until no runnable thread remains or virtual time would pass
+   [hard_deadline]: at that point remaining continuations are abandoned,
+   modelling the end of a wall-clock-limited trial even if some thread is
+   stuck in an enormous batch free. *)
+let run_until sched ~hard_deadline =
+  let rec loop () =
+    match Heap.peek_key sched.heap with
+    | None -> ()
+    | Some k when k > hard_deadline () -> sched.stopped <- true
+    | Some _ ->
+        (match Heap.pop sched.heap with None -> () | Some f -> f ());
+        loop ()
+  in
+  loop ()
+
+let stop sched = sched.stopped <- true

@@ -1,0 +1,94 @@
+(** The discrete-event scheduler.
+
+    Simulated threads are OCaml 5 effect-handler coroutines with local
+    virtual clocks. CPU work advances a thread's clock without yielding; at
+    {e checkpoints} (operation boundaries, lock acquisitions) the thread
+    yields and the scheduler resumes whichever thread has the smallest
+    clock. This min-clock discipline makes virtual lock acquisitions happen
+    in (near) global time order, so contention — and the paper's
+    remote-batch-free pathology — is emergent rather than scripted.
+
+    Runs are exactly reproducible for a fixed seed: ties are broken by
+    insertion order. *)
+
+(** Per-thread instrumentation hooks (timelines, garbage traces). *)
+type hooks = {
+  mutable on_reclaim_event : start:int -> stop:int -> count:int -> unit;
+      (** a batch of objects was freed — a paper "reclamation event" *)
+  mutable on_epoch_advance : time:int -> epoch:int -> unit;
+  mutable on_free_call : start:int -> stop:int -> unit;
+      (** one allocator [free] call completed *)
+  mutable on_epoch_garbage : epoch:int -> count:int -> unit;
+      (** unreclaimed objects held by this thread when it entered [epoch] *)
+}
+
+val no_hooks : unit -> hooks
+
+type thread = {
+  tid : int;
+  socket : int;  (** socket under the paper's pinning policy *)
+  core : int;
+  cpu_factor : float;  (** >1 when sharing a physical core (SMT) *)
+  rng : Rng.t;  (** thread-private random stream *)
+  metrics : Metrics.t;
+  sched : t;
+  hooks : hooks;
+  mutable clock : int;  (** local virtual time, ns *)
+  mutable in_free : bool;  (** inside an allocator free call *)
+  mutable in_flush : bool;  (** inside a cache flush *)
+  mutable atomic_depth : int;  (** > 0 suppresses checkpoints *)
+  mutable next_preempt : int;
+      (** next involuntary context switch under oversubscription *)
+  mutable suspended : (unit -> unit) option;
+}
+
+and t
+
+val create :
+  ?cost:Cost_model.t -> topology:Topology.t -> n_threads:int -> seed:int -> unit -> t
+(** Build a scheduler with [n_threads] simulated threads pinned to
+    [topology]. Thread counts beyond the machine are oversubscribed:
+    threads share logical CPUs and are periodically preempted for whole
+    timeslices (the paper's 240-thread configuration). *)
+
+val threads : t -> thread array
+val thread : t -> int -> thread
+val cost : t -> Cost_model.t
+val topology : t -> Topology.t
+val n_threads : t -> int
+
+val work : ?scaled:bool -> thread -> Metrics.bucket -> int -> unit
+(** Advance the clock by CPU work (SMT-scaled unless [scaled:false]) and
+    attribute it. Does not yield. *)
+
+val wait : thread -> Metrics.bucket -> int -> unit
+(** Advance the clock by waiting time (never SMT-scaled). *)
+
+val now : thread -> int
+
+val checkpoint : thread -> unit
+(** Yield; resumes when this thread is again minimal. Suppressed inside
+    {!atomically}. *)
+
+val atomically : thread -> (unit -> 'a) -> 'a
+(** Run an atomic block — no other simulated thread interleaves — modelling
+    a linearizable data structure operation. Costs still accrue. *)
+
+val suspend : thread -> unit
+(** Block until {!ready}. *)
+
+val ready : thread -> unit
+(** Make a suspended thread runnable at its current clock.
+    @raise Invalid_argument if the thread is not suspended. *)
+
+val spawn : t -> thread -> (thread -> unit) -> unit
+(** Schedule [body] to run on [thread] at its current clock. *)
+
+val run : t -> unit
+(** Run until no runnable thread remains. *)
+
+val run_until : t -> hard_deadline:(unit -> int) -> unit
+(** As {!run}, but abandon all remaining work once virtual time would pass
+    [hard_deadline ()] — the end of a wall-clock-limited trial. *)
+
+val stop : t -> unit

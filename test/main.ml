@@ -1,0 +1,25 @@
+let () =
+  Alcotest.run "epochs-repro"
+    [
+      Test_vec.suite;
+      Test_rng.suite;
+      Test_heap.suite;
+      Test_topology.suite;
+      Test_histogram.suite;
+      Test_metrics.suite;
+      Test_sched.suite;
+      Test_sim_mutex.suite;
+      Test_alloc.suite;
+      Test_alloc_ext.suite;
+      Test_ds.suite;
+      Test_ds_deep.suite;
+      Test_free_policy.suite;
+      Test_smr.suite;
+      Test_runtime.suite;
+      Test_timeline.suite;
+      Test_report.suite;
+      Test_parallel.suite;
+      Test_misc.suite;
+      Test_protocol.suite;
+      Test_invariants.suite;
+    ]

@@ -1,0 +1,205 @@
+open Simcore
+(* Data structure semantics: every structure is model-checked against
+   Stdlib.Set over random operation sequences, its internal invariants are
+   verified, and the leak-freedom equation
+
+     allocator live objects = reachable nodes + retired-but-unfreed
+
+   is asserted throughout. *)
+
+module IntSet = Set.Make (Int)
+
+type op = Insert of int | Delete of int | Contains of int
+
+let op_gen range =
+  QCheck.Gen.(
+    map2
+      (fun k c -> match c with 0 -> Insert k | 1 -> Delete k | _ -> Contains k)
+      (int_bound (range - 1)) (int_bound 2))
+
+let ops_arb range = QCheck.make ~print:(fun l -> Printf.sprintf "<%d ops>" (List.length l))
+    QCheck.Gen.(list_size (int_bound 400) (op_gen range))
+
+(* Build a structure inside the simulator and apply [ops], checking against
+   the model after every operation. *)
+let model_check name ops =
+  Helpers.in_sim (fun sched th ->
+      let retired = ref [] in
+      let alloc = Alloc.Registry.make "jemalloc" sched in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ h -> retired := h :: !retired); node_cost = 5 } in
+      let ds = Ds.Ds_registry.make name ctx th in
+      let model = ref IntSet.empty in
+      let ok = ref true in
+      List.iter
+        (fun op ->
+          (match op with
+          | Insert k ->
+              let r = ds.Ds.Ds_intf.insert th k in
+              let expected = not (IntSet.mem k !model) in
+              if r.Ds.Ds_intf.changed <> expected then ok := false;
+              model := IntSet.add k !model
+          | Delete k ->
+              let r = ds.Ds.Ds_intf.delete th k in
+              if r.Ds.Ds_intf.changed <> IntSet.mem k !model then ok := false;
+              model := IntSet.remove k !model
+          | Contains k ->
+              let r = ds.Ds.Ds_intf.contains th k in
+              if r.Ds.Ds_intf.changed <> IntSet.mem k !model then ok := false);
+          if ds.Ds.Ds_intf.size () <> IntSet.cardinal !model then ok := false)
+        ops;
+      ds.Ds.Ds_intf.check_invariants ();
+      (* Leak freedom: live allocator objects are exactly the reachable
+         nodes plus the retired-but-unfreed ones (nothing was freed here). *)
+      let live = Alloc.Obj_table.live_count alloc.Alloc.Alloc_intf.table in
+      if live <> ds.Ds.Ds_intf.node_count () + List.length !retired then ok := false;
+      (* No handle retired twice. *)
+      let sorted = List.sort compare !retired in
+      let rec dup = function a :: b :: _ when a = b -> true | _ :: tl -> dup tl | [] -> false in
+      if dup sorted then ok := false;
+      !ok)
+
+let model_prop name range =
+  Helpers.prop ~count:60 (name ^ " matches Set model") (ops_arb range) (model_check name)
+
+(* Deterministic unit tests per structure. *)
+let basic name =
+  Helpers.quick (name ^ "_basic") (fun () ->
+      Helpers.in_sim (fun sched th ->
+          let alloc = Alloc.Registry.make "jemalloc" sched in
+          let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 5 } in
+          let ds = Ds.Ds_registry.make name ctx th in
+          Alcotest.(check int) "empty" 0 (ds.Ds.Ds_intf.size ());
+          Alcotest.(check bool) "insert fresh" true (ds.Ds.Ds_intf.insert th 5).Ds.Ds_intf.changed;
+          Alcotest.(check bool) "insert duplicate" false
+            (ds.Ds.Ds_intf.insert th 5).Ds.Ds_intf.changed;
+          Alcotest.(check bool) "contains" true (ds.Ds.Ds_intf.contains th 5).Ds.Ds_intf.changed;
+          Alcotest.(check bool) "contains absent" false
+            (ds.Ds.Ds_intf.contains th 6).Ds.Ds_intf.changed;
+          Alcotest.(check bool) "delete present" true
+            (ds.Ds.Ds_intf.delete th 5).Ds.Ds_intf.changed;
+          Alcotest.(check bool) "delete absent" false
+            (ds.Ds.Ds_intf.delete th 5).Ds.Ds_intf.changed;
+          Alcotest.(check int) "empty again" 0 (ds.Ds.Ds_intf.size ());
+          ds.Ds.Ds_intf.check_invariants ()))
+
+let ascending_descending name =
+  Helpers.quick (name ^ "_ascending_descending") (fun () ->
+      Helpers.in_sim (fun sched th ->
+          let alloc = Alloc.Registry.make "jemalloc" sched in
+          let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 5 } in
+          let ds = Ds.Ds_registry.make name ctx th in
+          let n = 200 in
+          for k = 0 to n - 1 do
+            ignore (ds.Ds.Ds_intf.insert th k)
+          done;
+          ds.Ds.Ds_intf.check_invariants ();
+          Alcotest.(check int) "all inserted" n (ds.Ds.Ds_intf.size ());
+          for k = n - 1 downto 0 do
+            Alcotest.(check bool) "present" true (ds.Ds.Ds_intf.contains th k).Ds.Ds_intf.changed;
+            ignore (ds.Ds.Ds_intf.delete th k)
+          done;
+          ds.Ds.Ds_intf.check_invariants ();
+          Alcotest.(check int) "all deleted" 0 (ds.Ds.Ds_intf.size ())))
+
+let test_abtree_allocation_profile () =
+  (* The paper's key asymmetry: ABtree updates copy 240-byte leaves on every
+     successful update; OCCtree inserts allocate at most one 64-byte node
+     and deletes allocate nothing. *)
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "leak" sched in
+      let retired = ref 0 in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> incr retired); node_cost = 5 } in
+      let ds = Ds.Abtree.make ctx th in
+      for k = 0 to 99 do
+        ignore (ds.Ds.Ds_intf.insert th k)
+      done;
+      let allocs_before = th.Sched.metrics.Metrics.allocs in
+      let retired_before = !retired in
+      ignore (ds.Ds.Ds_intf.insert th 1000);
+      let allocs = th.Sched.metrics.Metrics.allocs - allocs_before in
+      let rets = !retired - retired_before in
+      Alcotest.(check bool) "insert allocates one or two nodes" true
+        (allocs >= 1 && allocs <= 3);
+      Alcotest.(check bool) "insert retires the copied leaf" true (rets >= 1))
+
+let test_occ_delete_no_alloc () =
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "leak" sched in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 5 } in
+      let ds = Ds.Occ_tree.make ctx in
+      for k = 0 to 99 do
+        ignore (ds.Ds.Ds_intf.insert th k)
+      done;
+      let before = th.Sched.metrics.Metrics.allocs in
+      for k = 0 to 99 do
+        ignore (ds.Ds.Ds_intf.delete th k)
+      done;
+      Alcotest.(check int) "deletes never allocate" before th.Sched.metrics.Metrics.allocs;
+      (* Reviving a routing key must not allocate either. *)
+      ignore (ds.Ds.Ds_intf.insert th 50);
+      Alcotest.(check bool) "revival allocates at most one" true
+        (th.Sched.metrics.Metrics.allocs - before <= 1))
+
+let test_dgt_two_nodes_per_update () =
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "leak" sched in
+      let retired = ref 0 in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> incr retired); node_cost = 5 } in
+      let ds = Ds.Dgt_bst.make ctx in
+      ignore (ds.Ds.Ds_intf.insert th 10);
+      let before = th.Sched.metrics.Metrics.allocs in
+      ignore (ds.Ds.Ds_intf.insert th 20);
+      Alcotest.(check int) "insert allocates leaf + router" 2
+        (th.Sched.metrics.Metrics.allocs - before);
+      ignore (ds.Ds.Ds_intf.delete th 20);
+      Alcotest.(check int) "delete retires leaf + router" 2 !retired)
+
+let test_abtree_rejects_bad_params () =
+  Alcotest.(check bool) "a/b constraint" true
+    (try
+       ignore
+         (Helpers.in_sim (fun sched th ->
+              let alloc = Alloc.Registry.make "leak" sched in
+              let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 5 } in
+              Ds.Abtree.make ~a:8 ~b:9 ctx th));
+       false
+     with Invalid_argument _ -> true)
+
+let test_visited_counts () =
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "leak" sched in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 5 } in
+      let ds = Ds.Ds_registry.make "list" ctx th in
+      for k = 1 to 10 do
+        ignore (ds.Ds.Ds_intf.insert th k)
+      done;
+      let r = ds.Ds.Ds_intf.contains th 10 in
+      Alcotest.(check bool) "deep key visits more nodes" true (r.Ds.Ds_intf.visited >= 10);
+      let r1 = ds.Ds.Ds_intf.contains th 1 in
+      Alcotest.(check bool) "shallow key visits fewer" true
+        (r1.Ds.Ds_intf.visited < r.Ds.Ds_intf.visited))
+
+let suite =
+  ( "ds",
+    [
+      basic "abtree";
+      basic "occtree";
+      basic "dgt";
+      basic "skiplist";
+      basic "list";
+      ascending_descending "abtree";
+      ascending_descending "occtree";
+      ascending_descending "dgt";
+      ascending_descending "skiplist";
+      ascending_descending "list";
+      model_prop "abtree" 64;
+      model_prop "occtree" 64;
+      model_prop "dgt" 64;
+      model_prop "skiplist" 64;
+      model_prop "list" 32;
+      Helpers.quick "abtree_allocation_profile" test_abtree_allocation_profile;
+      Helpers.quick "occ_delete_no_alloc" test_occ_delete_no_alloc;
+      Helpers.quick "dgt_two_nodes_per_update" test_dgt_two_nodes_per_update;
+      Helpers.quick "abtree_rejects_bad_params" test_abtree_rejects_bad_params;
+      Helpers.quick "visited_counts" test_visited_counts;
+    ] )

@@ -1,0 +1,116 @@
+(* Deeper data structure coverage: multi-level ABtree splits and merges,
+   skiplist size-class spread, and differential fuzzing — all structures
+   must agree with each other on random operation sequences. *)
+
+open Simcore
+
+let with_ds name f =
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "jemalloc" sched in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 2 } in
+      f (Ds.Ds_registry.make name ctx th) th)
+
+let test_abtree_deep_splits () =
+  with_ds "abtree" (fun ds th ->
+      let n = 5000 in
+      for k = 0 to n - 1 do
+        ignore (ds.Ds.Ds_intf.insert th ((k * 7919) mod 100_000))
+      done;
+      ds.Ds.Ds_intf.check_invariants ();
+      Alcotest.(check bool) "thousands of keys" true (ds.Ds.Ds_intf.size () > 4000);
+      (* Deep tree: a lookup must visit several levels. *)
+      let r = ds.Ds.Ds_intf.contains th 7919 in
+      Alcotest.(check bool) "multi-level descent" true (r.Ds.Ds_intf.visited >= 3);
+      (* Drain by deleting everything, forcing merges and root collapses. *)
+      for k = 0 to n - 1 do
+        ignore (ds.Ds.Ds_intf.delete th ((k * 7919) mod 100_000))
+      done;
+      ds.Ds.Ds_intf.check_invariants ();
+      Alcotest.(check int) "fully drained" 0 (ds.Ds.Ds_intf.size ());
+      Alcotest.(check int) "one node left (empty root leaf)" 1 (ds.Ds.Ds_intf.node_count ()))
+
+let test_abtree_interleaved_churn () =
+  with_ds "abtree" (fun ds th ->
+      (* Heavy churn on a small range stresses borrow/merge repeatedly. *)
+      let rng = Rng.create 77 in
+      for _ = 1 to 20_000 do
+        let k = Rng.int_below rng 128 in
+        if Rng.bool rng then ignore (ds.Ds.Ds_intf.insert th k)
+        else ignore (ds.Ds.Ds_intf.delete th k)
+      done;
+      ds.Ds.Ds_intf.check_invariants ())
+
+let test_skiplist_size_classes () =
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "jemalloc" sched in
+      let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 2 } in
+      let ds = Ds.Skiplist.make ctx in
+      for k = 0 to 2000 do
+        ignore (ds.Ds.Ds_intf.insert th k)
+      done;
+      ds.Ds.Ds_intf.check_invariants ();
+      (* Geometric tower heights: with 2000 nodes, several distinct
+         allocation size classes must be in use. *)
+      let table = alloc.Alloc.Alloc_intf.table in
+      let classes = Hashtbl.create 8 in
+      for h = 0 to Alloc.Obj_table.count table - 1 do
+        if Alloc.Obj_table.is_live table h then
+          Hashtbl.replace classes (Alloc.Obj_table.size_class table h) ()
+      done;
+      Alcotest.(check bool) "multiple size classes in use" true (Hashtbl.length classes >= 3))
+
+(* Differential fuzz: apply one random script to every structure; they must
+   agree operation by operation. *)
+let prop_structures_agree =
+  Helpers.prop ~count:40 "all structures agree on random scripts"
+    QCheck.(list (pair (int_bound 2) (int_bound 63)))
+    (fun script ->
+      Helpers.in_sim (fun sched th ->
+          let mk name =
+            let alloc = Alloc.Registry.make "leak" sched in
+            let ctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 1 } in
+            Ds.Ds_registry.make name ctx th
+          in
+          let structures = List.map mk [ "abtree"; "occtree"; "dgt"; "skiplist"; "list" ] in
+          List.for_all
+            (fun (op, k) ->
+              let results =
+                List.map
+                  (fun ds ->
+                    match op with
+                    | 0 -> (ds.Ds.Ds_intf.insert th k).Ds.Ds_intf.changed
+                    | 1 -> (ds.Ds.Ds_intf.delete th k).Ds.Ds_intf.changed
+                    | _ -> (ds.Ds.Ds_intf.contains th k).Ds.Ds_intf.changed)
+                  structures
+              in
+              match results with
+              | [] -> true
+              | r :: rest -> List.for_all (( = ) r) rest)
+            script))
+
+let test_occ_routing_node_revival_chain () =
+  with_ds "occtree" (fun ds th ->
+      (* Create a chain where internal deletions leave routing nodes, then
+         revive and re-delete them. *)
+      List.iter (fun k -> ignore (ds.Ds.Ds_intf.insert th k)) [ 50; 25; 75; 12; 37; 63; 88 ];
+      ignore (ds.Ds.Ds_intf.delete th 50);  (* two children: becomes routing *)
+      ignore (ds.Ds.Ds_intf.delete th 25);  (* two children: becomes routing *)
+      ds.Ds.Ds_intf.check_invariants ();
+      Alcotest.(check bool) "routing key absent" false
+        (ds.Ds.Ds_intf.contains th 50).Ds.Ds_intf.changed;
+      ignore (ds.Ds.Ds_intf.insert th 50);  (* revival *)
+      Alcotest.(check bool) "revived" true (ds.Ds.Ds_intf.contains th 50).Ds.Ds_intf.changed;
+      (* Delete the leaves under the routing node: cascades must clean up. *)
+      List.iter (fun k -> ignore (ds.Ds.Ds_intf.delete th k)) [ 12; 37; 63; 88; 75; 50 ];
+      ds.Ds.Ds_intf.check_invariants ();
+      Alcotest.(check int) "empty" 0 (ds.Ds.Ds_intf.size ()))
+
+let suite =
+  ( "ds_deep",
+    [
+      Helpers.quick "abtree_deep_splits" test_abtree_deep_splits;
+      Helpers.quick "abtree_interleaved_churn" test_abtree_interleaved_churn;
+      Helpers.quick "skiplist_size_classes" test_skiplist_size_classes;
+      Helpers.quick "occ_routing_node_revival_chain" test_occ_routing_node_revival_chain;
+      prop_structures_agree;
+    ] )

@@ -1,0 +1,93 @@
+open Simcore
+
+let with_policy mode f =
+  Helpers.in_sim (fun sched th ->
+      let alloc = Alloc.Registry.make "jemalloc" sched in
+      let policy = Smr.Free_policy.create ~mode ~alloc ~n:(Sched.n_threads sched) () in
+      f sched th alloc policy)
+
+(* Allocate [k] live objects; the policy's eventual free marks them dead. *)
+let alloc_batch alloc th k =
+  let bag = Vec.create () in
+  for _ = 1 to k do
+    Vec.push bag (alloc.Alloc.Alloc_intf.malloc th 64)
+  done;
+  bag
+
+let test_batch_frees_immediately () =
+  with_policy Smr.Free_policy.Batch (fun _sched th alloc policy ->
+      let bag = alloc_batch alloc th 10 in
+      Smr.Free_policy.dispose policy th bag;
+      Alcotest.(check int) "bag consumed" 0 (Vec.length bag);
+      Alcotest.(check int) "all freed now" 10 th.Sched.metrics.Metrics.frees;
+      Alcotest.(check int) "nothing pending" 0 (Smr.Free_policy.total_pending policy))
+
+let test_amortized_defers () =
+  with_policy (Smr.Free_policy.Amortized 1) (fun _sched th alloc policy ->
+      let bag = alloc_batch alloc th 10 in
+      Smr.Free_policy.dispose policy th bag;
+      Alcotest.(check int) "nothing freed yet" 0 th.Sched.metrics.Metrics.frees;
+      Alcotest.(check int) "all pending" 10 (Smr.Free_policy.pending policy th.Sched.tid);
+      (* Each tick frees exactly one. *)
+      for i = 1 to 10 do
+        Smr.Free_policy.tick policy th;
+        Alcotest.(check int) "one per tick" i th.Sched.metrics.Metrics.frees
+      done;
+      Smr.Free_policy.tick policy th;
+      Alcotest.(check int) "tick on empty list is a no-op" 10 th.Sched.metrics.Metrics.frees)
+
+let test_amortized_drain_rate () =
+  with_policy (Smr.Free_policy.Amortized 3) (fun _sched th alloc policy ->
+      let bag = alloc_batch alloc th 10 in
+      Smr.Free_policy.dispose policy th bag;
+      Smr.Free_policy.tick policy th;
+      Alcotest.(check int) "k per tick" 3 th.Sched.metrics.Metrics.frees;
+      Smr.Free_policy.tick policy th;
+      Smr.Free_policy.tick policy th;
+      Smr.Free_policy.tick policy th;
+      Alcotest.(check int) "drained fully" 10 th.Sched.metrics.Metrics.frees)
+
+let test_batch_records_reclaim_event () =
+  with_policy Smr.Free_policy.Batch (fun _sched th alloc policy ->
+      let events = ref [] in
+      th.Sched.hooks.Sched.on_reclaim_event <-
+        (fun ~start ~stop ~count -> events := (start, stop, count) :: !events);
+      let bag = alloc_batch alloc th 5 in
+      Smr.Free_policy.dispose policy th bag;
+      match !events with
+      | [ (start, stop, count) ] ->
+          Alcotest.(check int) "event counts the batch" 5 count;
+          Alcotest.(check bool) "event spans time" true (stop >= start)
+      | _ -> Alcotest.fail "expected exactly one reclamation event")
+
+let test_amortized_no_reclaim_event () =
+  with_policy (Smr.Free_policy.Amortized 1) (fun _sched th alloc policy ->
+      let events = ref 0 in
+      th.Sched.hooks.Sched.on_reclaim_event <- (fun ~start:_ ~stop:_ ~count:_ -> incr events);
+      let bag = alloc_batch alloc th 5 in
+      Smr.Free_policy.dispose policy th bag;
+      Alcotest.(check int) "splice is not a reclamation event" 0 !events)
+
+let test_empty_dispose () =
+  with_policy Smr.Free_policy.Batch (fun _sched th _alloc policy ->
+      let events = ref 0 in
+      th.Sched.hooks.Sched.on_reclaim_event <- (fun ~start:_ ~stop:_ ~count:_ -> incr events);
+      Smr.Free_policy.dispose policy th (Vec.create ());
+      Alcotest.(check int) "empty bag, no event" 0 !events)
+
+let test_mode_names () =
+  Alcotest.(check string) "batch" "batch" (Smr.Free_policy.mode_name Smr.Free_policy.Batch);
+  Alcotest.(check string) "amortized" "amortized"
+    (Smr.Free_policy.mode_name (Smr.Free_policy.Amortized 1))
+
+let suite =
+  ( "free_policy",
+    [
+      Helpers.quick "batch_frees_immediately" test_batch_frees_immediately;
+      Helpers.quick "amortized_defers" test_amortized_defers;
+      Helpers.quick "amortized_drain_rate" test_amortized_drain_rate;
+      Helpers.quick "batch_records_reclaim_event" test_batch_records_reclaim_event;
+      Helpers.quick "amortized_no_reclaim_event" test_amortized_no_reclaim_event;
+      Helpers.quick "empty_dispose" test_empty_dispose;
+      Helpers.quick "mode_names" test_mode_names;
+    ] )

@@ -1,0 +1,72 @@
+open Simcore
+
+let test_empty () =
+  let h = Histogram.create () in
+  Alcotest.(check int) "total" 0 (Histogram.total h);
+  Alcotest.(check int) "max" 0 (Histogram.max_value h);
+  Alcotest.(check int) "percentile of empty" 0 (Histogram.percentile h 99.)
+
+let test_add_and_max () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 10; 1000; 50; 7 ];
+  Alcotest.(check int) "total" 4 (Histogram.total h);
+  Alcotest.(check int) "max" 1000 (Histogram.max_value h)
+
+let test_count_above () =
+  let h = Histogram.create () in
+  (* 100 short calls, 3 long ones: the "visible free calls" question. *)
+  for _ = 1 to 100 do
+    Histogram.add h 100
+  done;
+  List.iter (Histogram.add h) [ 200_000; 300_000; 4_000_000 ];
+  Alcotest.(check int) "calls above ~0.1ms" 3 (Histogram.count_above h 65536);
+  Alcotest.(check int) "calls above ~1ms" 1 (Histogram.count_above h 1_048_576)
+
+let test_merge () =
+  let a = Histogram.create () and b = Histogram.create () in
+  Histogram.add a 8;
+  Histogram.add b 16;
+  Histogram.add b 1_000_000;
+  Histogram.merge a b;
+  Alcotest.(check int) "merged total" 3 (Histogram.total a);
+  Alcotest.(check int) "merged max" 1_000_000 (Histogram.max_value a)
+
+let test_percentile () =
+  let h = Histogram.create () in
+  for _ = 1 to 99 do
+    Histogram.add h 100
+  done;
+  Histogram.add h 1_000_000;
+  let p50 = Histogram.percentile h 50. in
+  let p100 = Histogram.percentile h 100. in
+  Alcotest.(check bool) "p50 in the small bucket" true (p50 <= 256);
+  Alcotest.(check bool) "p100 in the big bucket" true (p100 >= 524288)
+
+let test_iter () =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) [ 3; 3; 100 ];
+  let buckets = ref [] in
+  Histogram.iter (fun ~lower ~count -> buckets := (lower, count) :: !buckets) h;
+  Alcotest.(check int) "two non-empty buckets" 2 (List.length !buckets);
+  Alcotest.(check int) "counts sum to total" 3
+    (List.fold_left (fun acc (_, c) -> acc + c) 0 !buckets)
+
+let prop_bucket_bounds =
+  Helpers.prop "value lands in a bucket whose bound covers it"
+    QCheck.(int_range 1 (1 lsl 40))
+    (fun v ->
+      let b = Histogram.bucket_of v in
+      (* bucket b covers [2^b, 2^(b+1)) except the last catch-all *)
+      b >= 0 && b < Histogram.buckets && (b = Histogram.buckets - 1 || v < 1 lsl (b + 1)))
+
+let suite =
+  ( "histogram",
+    [
+      Helpers.quick "empty" test_empty;
+      Helpers.quick "add_and_max" test_add_and_max;
+      Helpers.quick "count_above" test_count_above;
+      Helpers.quick "merge" test_merge;
+      Helpers.quick "percentile" test_percentile;
+      Helpers.quick "iter" test_iter;
+      prop_bucket_bounds;
+    ] )

@@ -1,0 +1,175 @@
+(* Contention scaling, cost model helpers, registries, config labelling,
+   and cross-allocator conservation properties. *)
+
+open Simcore
+
+let test_contention_factor () =
+  Alcotest.(check (float 0.0001)) "single thread" 1.0 (Smr.Contention.factor ~n:1);
+  Alcotest.(check bool) "monotone" true
+    (Smr.Contention.factor ~n:192 > Smr.Contention.factor ~n:48);
+  Alcotest.(check int) "scaled rounds" (Smr.Contention.scaled ~n:1 100) 100;
+  Alcotest.(check bool) "scaled grows" true (Smr.Contention.scaled ~n:192 100 > 100)
+
+let test_node_cost () =
+  let c = Cost_model.default in
+  Alcotest.(check int) "one socket" c.Cost_model.node_access
+    (Cost_model.node_cost c ~sockets_used:1);
+  Alcotest.(check int) "four sockets"
+    (c.Cost_model.node_access + (3 * c.Cost_model.node_access_remote_extra))
+    (Cost_model.node_cost c ~sockets_used:4)
+
+let test_config_label () =
+  let cfg = { Runtime.Config.default with Runtime.Config.smr = "token_af"; threads = 96 } in
+  Alcotest.(check string) "label" "abtree/token_af/jemalloc n=96" (Runtime.Config.label cfg)
+
+let test_all_names_instantiate () =
+  (* Every advertised name must construct. *)
+  let ctx, _sched = Helpers.make_ctx () in
+  List.iter
+    (fun name -> ignore (Smr.Smr_registry.make name ctx))
+    Smr.Smr_registry.names;
+  Helpers.in_sim (fun sched th ->
+      List.iter
+        (fun name ->
+          let a = Alloc.Registry.make name sched in
+          let h = a.Alloc.Alloc_intf.malloc th 64 in
+          ignore h)
+        Alloc.Registry.names;
+      List.iter
+        (fun name ->
+          let alloc = Alloc.Registry.make "leak" sched in
+          let dctx = { Ds.Ds_intf.alloc; retire = (fun _ _ -> ()); node_cost = 1 } in
+          ignore (Ds.Ds_registry.make name dctx th))
+        Ds.Ds_registry.names)
+
+(* Conservation: for any interleaving of allocs and frees, every object is
+   in exactly one place — live with the application, or cached inside the
+   allocator — and mapped memory never shrinks. *)
+let conservation_prop alloc_name =
+  Helpers.prop ~count:50
+    (alloc_name ^ " conserves objects")
+    QCheck.(list (pair bool (int_range 1 500)))
+    (fun script ->
+      Helpers.in_sim (fun sched th ->
+          let a = Alloc.Registry.make alloc_name sched in
+          let table = a.Alloc.Alloc_intf.table in
+          let live = ref [] in
+          let ok = ref true in
+          let mapped = ref 0 in
+          List.iter
+            (fun (is_alloc, size) ->
+              (if is_alloc then live := a.Alloc.Alloc_intf.malloc th size :: !live
+               else
+                 match !live with
+                 | [] -> ()
+                 | h :: rest ->
+                     a.Alloc.Alloc_intf.free th h;
+                     live := rest);
+              if Alloc.Obj_table.mapped_bytes table < !mapped then ok := false;
+              mapped := Alloc.Obj_table.mapped_bytes table;
+              if Alloc.Obj_table.live_count table <> List.length !live then ok := false)
+            (List.map (fun (b, s) -> (b, 1 + (s mod 500))) script);
+          (* Everything not live is recycleable (except in the leak model). *)
+          if alloc_name <> "leak" then begin
+            let cached = a.Alloc.Alloc_intf.cached_objects () in
+            let total = Alloc.Obj_table.count table in
+            if Alloc.Obj_table.live_count table + cached <> total then ok := false
+          end;
+          !ok))
+
+let test_chart_axis_labels () =
+  let s =
+    Report.Chart.render ~width:30 ~height:6 ~y_label:"tput" ~x_label:"threads"
+      (Report.Chart.make_series [ ("x", [ (1., 1e6); (10., 2e6) ]) ])
+  in
+  Alcotest.(check bool) "labels present" true
+    (Helpers.contains s "tput" && Helpers.contains s "threads")
+
+let test_topology_cli_names () =
+  List.iter
+    (fun t ->
+      match Topology.by_name t.Topology.name with
+      | Some t' -> Alcotest.(check string) "roundtrip" t.Topology.name t'.Topology.name
+      | None -> Alcotest.failf "topology %s not resolvable by name" t.Topology.name)
+    Topology.all
+
+let test_insert_only_workload () =
+  (* A 100% insert workload fills the key range and then stops changing. *)
+  let cfg =
+    {
+      Runtime.Config.default with
+      Runtime.Config.threads = 4;
+      key_range = 256;
+      insert_pct = 1.0;
+      delete_pct = 0.0;
+      warmup_ns = 100_000;
+      duration_ns = 2_000_000;
+      grace_ns = 1_000_000;
+      trials = 1;
+    }
+  in
+  let t = Runtime.Runner.run_trial cfg ~seed:4 in
+  Alcotest.(check int) "range saturated" 256 t.Runtime.Trial.final_size
+
+let test_lookup_workload_frees_nothing_new () =
+  let cfg =
+    {
+      Runtime.Config.default with
+      Runtime.Config.threads = 4;
+      key_range = 256;
+      insert_pct = 0.0;
+      delete_pct = 0.0;
+      warmup_ns = 100_000;
+      duration_ns = 1_000_000;
+      grace_ns = 1_000_000;
+      trials = 1;
+    }
+  in
+  let t = Runtime.Runner.run_trial cfg ~seed:4 in
+  (* Lookups mutate nothing: size stays at the prefill level. *)
+  Alcotest.(check int) "prefill size retained" 128 t.Runtime.Trial.final_size;
+  Alcotest.(check bool) "throughput positive" true (t.Runtime.Trial.throughput > 0.)
+
+let test_zipf_skews_accesses () =
+  (* Under heavy skew the hottest keys absorb most updates: steady-state
+     size drops below half the range (hot keys flip in and out; cold keys
+     are rarely inserted at all). The run must stay valid and deterministic. *)
+  let cfg dist =
+    {
+      Runtime.Config.default with
+      Runtime.Config.threads = 4;
+      key_range = 1024;
+      key_dist = dist;
+      warmup_ns = 100_000;
+      duration_ns = 2_000_000;
+      grace_ns = 1_000_000;
+      trials = 1;
+      validate = true;
+    }
+  in
+  let z = Runtime.Runner.run_trial (cfg (Runtime.Config.Zipf 0.99)) ~seed:3 in
+  let u = Runtime.Runner.run_trial (cfg Runtime.Config.Uniform) ~seed:3 in
+  Alcotest.(check int) "zipf run is safe" 0 z.Runtime.Trial.violations;
+  Alcotest.(check bool) "zipf changes the workload" true
+    (z.Runtime.Trial.ops <> u.Runtime.Trial.ops);
+  let z' = Runtime.Runner.run_trial (cfg (Runtime.Config.Zipf 0.99)) ~seed:3 in
+  Alcotest.(check int) "zipf runs are deterministic" z.Runtime.Trial.ops z'.Runtime.Trial.ops
+
+let suite =
+  ( "misc",
+    [
+      Helpers.quick "contention_factor" test_contention_factor;
+      Helpers.quick "node_cost" test_node_cost;
+      Helpers.quick "config_label" test_config_label;
+      Helpers.quick "all_names_instantiate" test_all_names_instantiate;
+      conservation_prop "jemalloc";
+      conservation_prop "tcmalloc";
+      conservation_prop "mimalloc";
+      conservation_prop "jemalloc-ba";
+      conservation_prop "leak";
+      Helpers.quick "chart_axis_labels" test_chart_axis_labels;
+      Helpers.quick "topology_cli_names" test_topology_cli_names;
+      Helpers.quick "insert_only_workload" test_insert_only_workload;
+      Helpers.quick "zipf_skews_accesses" test_zipf_skews_accesses;
+      Helpers.quick "lookup_workload" test_lookup_workload_frees_nothing_new;
+    ] )

@@ -1,0 +1,325 @@
+(* The real-multicore component: EBR and Token-EBR over OCaml Domains and
+   Atomics, protecting off-heap slab blocks referenced from a lock-free
+   stack. Single-domain tests check the protocols deterministically;
+   multi-domain stress tests assert safety (no block recycled while
+   observable) and conservation (every block accounted for at the end). *)
+
+let test_slab_basics () =
+  let s = Parallel.Slab.create ~blocks:4 ~block_words:2 in
+  Alcotest.(check int) "capacity" 4 (Parallel.Slab.capacity s);
+  let b = Option.get (Parallel.Slab.alloc s) in
+  Parallel.Slab.write s b ~word:0 42;
+  Alcotest.(check int) "write/read" 42 (Parallel.Slab.read s b ~word:0);
+  Alcotest.(check int) "live" 1 (Parallel.Slab.live_blocks s);
+  let seq0 = Parallel.Slab.sequence s b in
+  Parallel.Slab.free s b;
+  Alcotest.(check int) "sequence bumped on free" (seq0 + 1) (Parallel.Slab.sequence s b);
+  Alcotest.(check int) "back on the free list" 4 (Parallel.Slab.free_blocks s)
+
+let test_slab_exhaustion () =
+  let s = Parallel.Slab.create ~blocks:2 ~block_words:1 in
+  let a = Option.get (Parallel.Slab.alloc s) in
+  let b = Option.get (Parallel.Slab.alloc s) in
+  Alcotest.(check (option int)) "exhausted" None (Parallel.Slab.alloc s);
+  Parallel.Slab.free s a;
+  Parallel.Slab.free s b;
+  Alcotest.(check bool) "reusable" true (Parallel.Slab.alloc s <> None)
+
+let test_stack_sequential () =
+  let st = Parallel.Treiber_stack.create () in
+  Alcotest.(check bool) "empty" true (Parallel.Treiber_stack.is_empty st);
+  Parallel.Treiber_stack.push st ~value:1 ~seq:0;
+  Parallel.Treiber_stack.push st ~value:2 ~seq:0;
+  Alcotest.(check int) "length" 2 (Parallel.Treiber_stack.length st);
+  Alcotest.(check (option (pair int int))) "lifo" (Some (2, 0)) (Parallel.Treiber_stack.pop st);
+  Alcotest.(check (option (pair int int))) "lifo 2" (Some (1, 0)) (Parallel.Treiber_stack.pop st);
+  Alcotest.(check (option (pair int int))) "drained" None (Parallel.Treiber_stack.pop st)
+
+(* The hazard EBR prevents, demonstrated deterministically: a stale holder
+   of a node sees the block's sequence change when the block is freed and
+   recycled without a grace period. *)
+let test_sequence_detects_recycling () =
+  let s = Parallel.Slab.create ~blocks:2 ~block_words:1 in
+  let st = Parallel.Treiber_stack.create () in
+  let b = Option.get (Parallel.Slab.alloc s) in
+  Parallel.Treiber_stack.push st ~value:b ~seq:(Parallel.Slab.sequence s b);
+  (* A "reader" holds the node... *)
+  let node_value, node_seq =
+    match Parallel.Treiber_stack.pop st with Some (v, q) -> (v, q) | None -> assert false
+  in
+  (* ...while the block is freed immediately (no grace period) and
+     recycled by someone else. *)
+  Parallel.Slab.free s node_value;
+  let b2 = Option.get (Parallel.Slab.alloc s) in
+  Alcotest.(check int) "allocator recycled the same block" node_value b2;
+  Alcotest.(check bool) "stale reader detects the recycling" true
+    (Parallel.Slab.sequence s node_value <> node_seq)
+
+let test_ebr_single_domain_protocol () =
+  let ebr = Parallel.Ebr.create ~check_every:1 ~max_domains:1 () in
+  let h = Parallel.Ebr.register ebr in
+  let released = ref [] in
+  Parallel.Ebr.enter h;
+  Parallel.Ebr.retire h (fun () -> released := 1 :: !released);
+  Parallel.Ebr.exit h;
+  (* One registered domain: each enter can advance the epoch by one; the
+     callback must wait out three epochs (announcement-skew safety). *)
+  Parallel.Ebr.enter h;
+  Parallel.Ebr.exit h;
+  Alcotest.(check (list int)) "not released after one epoch" [] !released;
+  for _ = 1 to 6 do
+    Parallel.Ebr.enter h;
+    Parallel.Ebr.exit h
+  done;
+  Alcotest.(check (list int)) "released after the grace period" [ 1 ] !released;
+  Alcotest.(check int) "accounting" 1 (Parallel.Ebr.released h);
+  Alcotest.(check int) "nothing pending" 0 (Parallel.Ebr.pending h)
+
+let test_ebr_amortized_drains () =
+  let ebr = Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 1) ~check_every:1 ~max_domains:1 () in
+  let h = Parallel.Ebr.register ebr in
+  let count = ref 0 in
+  Parallel.Ebr.enter h;
+  for _ = 1 to 8 do
+    Parallel.Ebr.retire h (fun () -> incr count)
+  done;
+  Parallel.Ebr.exit h;
+  (* Let the bag become safe, then watch it drain one per operation. *)
+  for _ = 1 to 8 do
+    Parallel.Ebr.enter h;
+    Parallel.Ebr.exit h
+  done;
+  let after_safety = !count in
+  Alcotest.(check bool) "drains gradually, not all at once" true
+    (after_safety > 0 && after_safety < 8);
+  for _ = 1 to 10 do
+    Parallel.Ebr.enter h;
+    Parallel.Ebr.exit h
+  done;
+  Alcotest.(check int) "eventually all released" 8 !count
+
+let test_ebr_two_handles_interleaved () =
+  (* Two handles driven from one thread, interleaved: the epoch can only
+     advance when BOTH have announced it, and a callback retired by A is
+     only released after B keeps entering new operations. *)
+  let ebr = Parallel.Ebr.create ~check_every:1 ~max_domains:2 () in
+  let a = Parallel.Ebr.register ebr in
+  let b = Parallel.Ebr.register ebr in
+  let released = ref false in
+  Parallel.Ebr.enter a;
+  Parallel.Ebr.retire a (fun () -> released := true);
+  Parallel.Ebr.exit a;
+  (* Only A keeps running: B never enters, so the epoch cannot advance and
+     the callback must stay pending. *)
+  for _ = 1 to 10 do
+    Parallel.Ebr.enter a;
+    Parallel.Ebr.exit a
+  done;
+  Alcotest.(check bool) "a stalled thread blocks reclamation" false !released;
+  (* B's registration announced epoch 0, permitting at most one advance;
+     after that the epoch is stuck until B actually runs. *)
+  Alcotest.(check bool) "epoch stuck after at most one advance" true
+    (Parallel.Ebr.current_epoch ebr <= 1);
+  (* B participates: epochs advance and the callback is eventually run. *)
+  for _ = 1 to 12 do
+    Parallel.Ebr.enter a;
+    Parallel.Ebr.exit a;
+    Parallel.Ebr.enter b;
+    Parallel.Ebr.exit b
+  done;
+  Alcotest.(check bool) "epochs advance with both" true (Parallel.Ebr.current_epoch ebr >= 3);
+  Alcotest.(check bool) "released after grace period" true !released
+
+let test_token_single_domain () =
+  let ring = Parallel.Token_ring.create ~mode:Parallel.Token_ring.Batch ~max_domains:1 () in
+  let h = Parallel.Token_ring.register ring in
+  let released = ref 0 in
+  Parallel.Token_ring.enter h;  (* receipt 1: rotates empty bags *)
+  Parallel.Token_ring.retire h (fun () -> incr released);
+  Parallel.Token_ring.exit h;
+  Parallel.Token_ring.enter h;  (* receipt 2: retirement moves to prev *)
+  Parallel.Token_ring.exit h;
+  Alcotest.(check int) "not yet" 0 !released;
+  Parallel.Token_ring.enter h;  (* receipt 3: prev is safe *)
+  Parallel.Token_ring.exit h;
+  Alcotest.(check int) "released after a full round + swap" 1 !released;
+  Alcotest.(check bool) "receipts counted" true (Parallel.Token_ring.receipts h >= 3)
+
+let test_ms_queue_sequential () =
+  let q = Parallel.Ms_queue.create () in
+  Alcotest.(check bool) "empty" true (Parallel.Ms_queue.is_empty q);
+  Parallel.Ms_queue.enqueue q ~value:1 ~seq:0;
+  Parallel.Ms_queue.enqueue q ~value:2 ~seq:0;
+  Parallel.Ms_queue.enqueue q ~value:3 ~seq:0;
+  Alcotest.(check int) "length" 3 (Parallel.Ms_queue.length q);
+  Alcotest.(check (option (pair int int))) "fifo 1" (Some (1, 0)) (Parallel.Ms_queue.dequeue q);
+  Alcotest.(check (option (pair int int))) "fifo 2" (Some (2, 0)) (Parallel.Ms_queue.dequeue q);
+  Parallel.Ms_queue.enqueue q ~value:4 ~seq:0;
+  Alcotest.(check (option (pair int int))) "fifo 3" (Some (3, 0)) (Parallel.Ms_queue.dequeue q);
+  Alcotest.(check (option (pair int int))) "fifo 4" (Some (4, 0)) (Parallel.Ms_queue.dequeue q);
+  Alcotest.(check (option (pair int int))) "drained" None (Parallel.Ms_queue.dequeue q)
+
+(* Producer/consumer across domains: FIFO per producer, every element
+   delivered exactly once, and slab blocks protected by EBR. *)
+let stress_ms_queue ~domains ~ops () =
+  let blocks = 512 in
+  let slab = Parallel.Slab.create ~blocks ~block_words:2 in
+  let q = Parallel.Ms_queue.create () in
+  let ebr = Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 2) ~check_every:2 ~max_domains:domains () in
+  let handles = Array.init domains (fun _ -> Parallel.Ebr.register ebr) in
+  let violations = Atomic.make 0 in
+  let delivered = Atomic.make 0 and produced = Atomic.make 0 in
+  let worker i () =
+    let h = handles.(i) in
+    for op = 1 to ops do
+      Parallel.Ebr.enter h;
+      (if (op + i) land 1 = 0 then
+         match Parallel.Slab.alloc slab with
+         | Some b ->
+             Parallel.Slab.write slab b ~word:0 (b * 3);
+             Atomic.incr produced;
+             Parallel.Ms_queue.enqueue q ~value:b ~seq:(Parallel.Slab.sequence slab b)
+         | None -> ()
+       else
+         match Parallel.Ms_queue.dequeue q with
+         | Some (b, seq) ->
+             if Parallel.Slab.sequence slab b <> seq then Atomic.incr violations;
+             if Parallel.Slab.read slab b ~word:0 <> b * 3 then Atomic.incr violations;
+             Atomic.incr delivered;
+             Parallel.Ebr.retire h (fun () -> Parallel.Slab.free slab b)
+         | None -> ());
+      Parallel.Ebr.exit h
+    done
+  in
+  let ds = Array.init domains (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no use-after-free" 0 (Atomic.get violations);
+  (* Drain leftovers. *)
+  let rec drain () =
+    match Parallel.Ms_queue.dequeue q with
+    | Some (b, _) ->
+        Atomic.incr delivered;
+        Parallel.Slab.free slab b;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Array.iter Parallel.Ebr.flush_unsafe handles;
+  Alcotest.(check int) "every element delivered exactly once" (Atomic.get produced)
+    (Atomic.get delivered);
+  Alcotest.(check int) "blocks conserved" blocks (Parallel.Slab.free_blocks slab)
+
+(* Multi-domain stress: [n] domains hammer a shared stack of slab blocks.
+   Poppers validate the block sequence before retiring; peekers validate
+   that a block referenced from a live node is never recycled under them.
+   With EBR protecting retirements there must be zero violations, and at
+   the end every block must be accounted for. *)
+let stress_ebr ~domains ~ops () =
+  let blocks = 256 in
+  let slab = Parallel.Slab.create ~blocks ~block_words:4 in
+  let stack = Parallel.Treiber_stack.create () in
+  let ebr = Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 2) ~check_every:2 ~max_domains:domains () in
+  let violations = Atomic.make 0 in
+  let handles = Array.init domains (fun _ -> Parallel.Ebr.register ebr) in
+  let worker i () =
+    let h = handles.(i) in
+    let rng = ref (12345 + i) in
+    let next () =
+      rng := (!rng * 1103515245) + 12345;
+      (!rng lsr 16) land 0xFFFF
+    in
+    for _ = 1 to ops do
+      Parallel.Ebr.enter h;
+      (if next () land 1 = 0 then
+         match Parallel.Slab.alloc slab with
+         | Some b ->
+             Parallel.Slab.write slab b ~word:0 b;
+             Parallel.Treiber_stack.push stack ~value:b ~seq:(Parallel.Slab.sequence slab b)
+         | None -> ()
+       else
+         match Parallel.Treiber_stack.pop stack with
+         | Some (b, seq) ->
+             (* We own the block now; under EBR its content must still be
+                ours: the sequence cannot have moved. *)
+             if Parallel.Slab.sequence slab b <> seq then Atomic.incr violations;
+             if Parallel.Slab.read slab b ~word:0 <> b then Atomic.incr violations;
+             Parallel.Ebr.retire h (fun () -> Parallel.Slab.free slab b)
+         | None -> ());
+      Parallel.Ebr.exit h
+    done
+  in
+  let ds = Array.init domains (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no use-after-free detected" 0 (Atomic.get violations);
+  (* Drain: everything retired but unreleased is safe to flush now. *)
+  Array.iter Parallel.Ebr.flush_unsafe handles;
+  (* Pop the survivors and free them directly. *)
+  let rec drain () =
+    match Parallel.Treiber_stack.pop stack with
+    | Some (b, _) ->
+        Parallel.Slab.free slab b;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all blocks conserved" blocks (Parallel.Slab.free_blocks slab);
+  let total_retired = Array.fold_left (fun a h -> a + Parallel.Ebr.retired h) 0 handles in
+  let total_released = Array.fold_left (fun a h -> a + Parallel.Ebr.released h) 0 handles in
+  Alcotest.(check int) "every retirement released exactly once" total_retired total_released
+
+let stress_token ~domains ~ops () =
+  let blocks = 256 in
+  let slab = Parallel.Slab.create ~blocks ~block_words:2 in
+  let stack = Parallel.Treiber_stack.create () in
+  let ring = Parallel.Token_ring.create ~mode:(Parallel.Token_ring.Amortized 1) ~max_domains:domains () in
+  let violations = Atomic.make 0 in
+  let handles = Array.init domains (fun _ -> Parallel.Token_ring.register ring) in
+  let worker i () =
+    let h = handles.(i) in
+    for op = 1 to ops do
+      Parallel.Token_ring.enter h;
+      (if (op + i) land 1 = 0 then
+         match Parallel.Slab.alloc slab with
+         | Some b ->
+             Parallel.Treiber_stack.push stack ~value:b ~seq:(Parallel.Slab.sequence slab b)
+         | None -> ()
+       else
+         match Parallel.Treiber_stack.pop stack with
+         | Some (b, seq) ->
+             if Parallel.Slab.sequence slab b <> seq then Atomic.incr violations;
+             Parallel.Token_ring.retire h (fun () -> Parallel.Slab.free slab b)
+         | None -> ());
+      Parallel.Token_ring.exit h
+    done
+  in
+  let ds = Array.init domains (fun i -> Domain.spawn (worker i)) in
+  Array.iter Domain.join ds;
+  Alcotest.(check int) "no use-after-free detected" 0 (Atomic.get violations);
+  Array.iter Parallel.Token_ring.flush_unsafe handles;
+  let rec drain () =
+    match Parallel.Treiber_stack.pop stack with
+    | Some (b, _) ->
+        Parallel.Slab.free slab b;
+        drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "all blocks conserved" blocks (Parallel.Slab.free_blocks slab)
+
+let suite =
+  ( "parallel",
+    [
+      Helpers.quick "slab_basics" test_slab_basics;
+      Helpers.quick "slab_exhaustion" test_slab_exhaustion;
+      Helpers.quick "stack_sequential" test_stack_sequential;
+      Helpers.quick "sequence_detects_recycling" test_sequence_detects_recycling;
+      Helpers.quick "ebr_single_domain_protocol" test_ebr_single_domain_protocol;
+      Helpers.quick "ebr_amortized_drains" test_ebr_amortized_drains;
+      Helpers.quick "ebr_two_handles_interleaved" test_ebr_two_handles_interleaved;
+      Helpers.quick "token_single_domain" test_token_single_domain;
+      Alcotest.test_case "stress_ebr_2_domains" `Quick (stress_ebr ~domains:2 ~ops:20_000);
+      Alcotest.test_case "stress_ebr_4_domains" `Quick (stress_ebr ~domains:4 ~ops:10_000);
+      Alcotest.test_case "stress_token_4_domains" `Quick (stress_token ~domains:4 ~ops:10_000);
+      Helpers.quick "ms_queue_sequential" test_ms_queue_sequential;
+      Alcotest.test_case "stress_ms_queue_4_domains" `Quick (stress_ms_queue ~domains:4 ~ops:10_000);
+    ] )

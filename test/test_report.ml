@@ -1,0 +1,48 @@
+let test_table_render () =
+  let t = Report.Table.create [ "algo"; "ops/s"; "%free" ] in
+  Report.Table.add_row t [ "debra"; "43.4M"; "59.5" ];
+  Report.Table.add_row t [ "token_af"; "123.7M"; "14.7" ];
+  let s = Report.Table.render t in
+  let lines = String.split_on_char '\n' s in
+  Alcotest.(check bool) "header present" true
+    (match lines with h :: _ -> String.length h > 0 | [] -> false);
+  Alcotest.(check bool) "has both rows" true
+    (List.exists (fun l -> Helpers.contains l "token_af") lines)
+
+let test_table_mismatch () =
+  let t = Report.Table.create [ "a"; "b" ] in
+  Alcotest.check_raises "column mismatch" (Invalid_argument "Table.add_row: column count mismatch")
+    (fun () -> Report.Table.add_row t [ "only one" ])
+
+let test_formatters () =
+  Alcotest.(check string) "mops" "43.4M" (Report.Table.mops 43_400_000.);
+  Alcotest.(check string) "bytes gb" "1.25GB" (Report.Table.bytes 1_250_000_000);
+  Alcotest.(check string) "bytes kb" "1.5KB" (Report.Table.bytes 1_500);
+  Alcotest.(check string) "count" "114.0M" (Report.Table.count 114_000_000);
+  Alcotest.(check string) "pct" "59.5" (Report.Table.pct 59.5)
+
+let test_chart () =
+  let series =
+    Report.Chart.make_series
+      [
+        ("debra", [ (48., 35.9e6); (96., 45.3e6); (192., 43.4e6) ]);
+        ("token_af", [ (48., 60.0e6); (96., 90.0e6); (192., 123.7e6) ]);
+      ]
+  in
+  let s = Report.Chart.render ~width:40 ~height:10 series in
+  Alcotest.(check bool) "contains markers" true
+    (String.contains s 'a' && String.contains s 'b');
+  Alcotest.(check bool) "contains legend" true (Helpers.contains s "token_af")
+
+let test_chart_empty () =
+  Alcotest.(check string) "empty series" "(no data)\n" (Report.Chart.render [])
+
+let suite =
+  ( "report",
+    [
+      Helpers.quick "table_render" test_table_render;
+      Helpers.quick "table_mismatch" test_table_mismatch;
+      Helpers.quick "formatters" test_formatters;
+      Helpers.quick "chart" test_chart;
+      Helpers.quick "chart_empty" test_chart_empty;
+    ] )

@@ -1,0 +1,84 @@
+open Simcore
+
+let test_determinism () =
+  let a = Rng.create 1 and b = Rng.create 1 in
+  for _ = 1 to 100 do
+    Alcotest.(check int) "same seed, same stream" (Rng.next_int a) (Rng.next_int b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let same = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next_int a = Rng.next_int b then incr same
+  done;
+  Alcotest.(check bool) "different seeds diverge" true (!same < 5)
+
+let test_non_negative () =
+  let r = Rng.create 99 in
+  for _ = 1 to 1000 do
+    Alcotest.(check bool) "next_int >= 0" true (Rng.next_int r >= 0)
+  done
+
+let test_int_below () =
+  let r = Rng.create 5 in
+  for _ = 1 to 1000 do
+    let x = Rng.int_below r 17 in
+    Alcotest.(check bool) "in range" true (x >= 0 && x < 17)
+  done;
+  Alcotest.check_raises "bound must be positive"
+    (Invalid_argument "Rng.int_below: bound must be positive") (fun () ->
+      ignore (Rng.int_below r 0))
+
+let test_float_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let f = Rng.float r in
+    Alcotest.(check bool) "in [0,1)" true (f >= 0. && f < 1.)
+  done
+
+let test_float_coverage () =
+  (* The stream should hit both halves of [0,1) about equally. *)
+  let r = Rng.create 11 in
+  let low = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.float r < 0.5 then incr low
+  done;
+  Alcotest.(check bool) "roughly balanced" true (!low > 4_500 && !low < 5_500)
+
+let test_split_independence () =
+  let root = Rng.create 42 in
+  let a = Rng.split root and b = Rng.split root in
+  let matches = ref 0 in
+  for _ = 1 to 100 do
+    if Rng.next_int a = Rng.next_int b then incr matches
+  done;
+  Alcotest.(check bool) "split streams differ" true (!matches < 5)
+
+let test_copy () =
+  let a = Rng.create 8 in
+  ignore (Rng.next_int a);
+  let b = Rng.copy a in
+  Alcotest.(check int) "copy continues identically" (Rng.next_int a) (Rng.next_int b)
+
+let test_bool_balance () =
+  let r = Rng.create 17 in
+  let t = ref 0 in
+  for _ = 1 to 10_000 do
+    if Rng.bool r then incr t
+  done;
+  Alcotest.(check bool) "bool roughly balanced" true (!t > 4_500 && !t < 5_500)
+
+let suite =
+  ( "rng",
+    [
+      Helpers.quick "determinism" test_determinism;
+      Helpers.quick "seed_sensitivity" test_seed_sensitivity;
+      Helpers.quick "non_negative" test_non_negative;
+      Helpers.quick "int_below" test_int_below;
+      Helpers.quick "float_range" test_float_range;
+      Helpers.quick "float_coverage" test_float_coverage;
+      Helpers.quick "split_independence" test_split_independence;
+      Helpers.quick "copy" test_copy;
+      Helpers.quick "bool_balance" test_bool_balance;
+    ] )

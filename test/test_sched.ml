@@ -1,0 +1,148 @@
+open Simcore
+
+let test_work_advances_clock () =
+  Helpers.in_sim (fun _sched th ->
+      let t0 = Sched.now th in
+      Sched.work ~scaled:false th Metrics.Ds 500;
+      Alcotest.(check int) "clock advanced" (t0 + 500) (Sched.now th);
+      Alcotest.(check int) "attributed" 500 th.Sched.metrics.Metrics.ds_ns)
+
+let test_smt_scaling () =
+  (* With 48 threads on the 192t machine every thread shares a core, so
+     scaled work is multiplied by the SMT factor (1.4). *)
+  let sched = Helpers.make_sched ~n:48 () in
+  let th = Sched.thread sched 0 in
+  Sched.spawn sched th (fun th -> Sched.work th Metrics.Ds 1000);
+  Sched.run sched;
+  Alcotest.(check int) "SMT-scaled" 1400 (Sched.now th)
+
+let test_min_clock_interleaving () =
+  (* Threads checkpoint after different amounts of work; the scheduler must
+     always resume the thread with the smallest clock, so completion times
+     interleave deterministically. *)
+  let order = ref [] in
+  let _sched =
+    Helpers.in_sim_all ~n:3 (fun _sched th ->
+        let step = (th.Sched.tid + 1) * 100 in
+        for _ = 1 to 3 do
+          Sched.work ~scaled:false th Metrics.Ds step;
+          order := (th.Sched.tid, Sched.now th) :: !order;
+          Sched.checkpoint th
+        done)
+  in
+  let events = List.rev !order in
+  (* Verify a global invariant: recorded times are produced in an order
+     where each event's time is >= all previously *scheduled* times minus
+     its own step (i.e., the run is a legal min-clock interleaving). *)
+  let sorted = List.stable_sort (fun (_, a) (_, b) -> compare a b) events in
+  Alcotest.(check bool) "events appear in near-sorted time order" true
+    (List.length events = 9
+    && List.for_all2 (fun (_, a) (_, b) -> abs (a - b) <= 300) events sorted)
+
+let test_determinism () =
+  let run () =
+    let log = ref [] in
+    let _s =
+      Helpers.in_sim_all ~n:4 ~seed:123 (fun _sched th ->
+          for _ = 1 to 5 do
+            Sched.work ~scaled:false th Metrics.Ds (1 + Rng.int_below th.Sched.rng 100);
+            log := (th.Sched.tid, Sched.now th) :: !log;
+            Sched.checkpoint th
+          done)
+    in
+    !log
+  in
+  Alcotest.(check bool) "identical seed, identical schedule" true (run () = run ())
+
+let test_atomically_suppresses_checkpoints () =
+  (* Inside an atomic block other threads must not interleave even across
+     checkpoints. Thread 0 sets a flag, checkpoints, clears it; thread 1
+     would observe the flag set if it ran in between. *)
+  let flag = ref false in
+  let observed = ref false in
+  let sched = Helpers.make_sched ~n:2 () in
+  Sched.spawn sched (Sched.thread sched 0) (fun th ->
+      Sched.atomically th (fun () ->
+          flag := true;
+          Sched.work ~scaled:false th Metrics.Ds 1000;
+          Sched.checkpoint th;
+          flag := false));
+  Sched.spawn sched (Sched.thread sched 1) (fun th ->
+      Sched.work ~scaled:false th Metrics.Ds 500;
+      Sched.checkpoint th;
+      observed := !flag);
+  Sched.run sched;
+  Alcotest.(check bool) "no interleaving inside atomic block" false !observed
+
+let test_atomically_restores_on_exception () =
+  Helpers.in_sim (fun _sched th ->
+      (try Sched.atomically th (fun () -> failwith "boom") with Failure _ -> ());
+      Alcotest.(check int) "atomic depth restored" 0 th.Sched.atomic_depth)
+
+let test_run_until_cutoff () =
+  let sched = Helpers.make_sched ~n:1 () in
+  let th = Sched.thread sched 0 in
+  let reached = ref 0 in
+  Sched.spawn sched th (fun th ->
+      for i = 1 to 100 do
+        Sched.work ~scaled:false th Metrics.Ds 1000;
+        reached := i;
+        Sched.checkpoint th
+      done);
+  Sched.run_until sched ~hard_deadline:(fun () -> 10_500);
+  Alcotest.(check bool) "stopped near the deadline" true (!reached >= 10 && !reached <= 11)
+
+let test_wait_not_smt_scaled () =
+  let sched = Helpers.make_sched ~n:48 () in
+  let th = Sched.thread sched 0 in
+  Sched.spawn sched th (fun th -> Sched.wait th Metrics.Lock 1000);
+  Sched.run sched;
+  Alcotest.(check int) "waiting is wall-clock" 1000 (Sched.now th)
+
+let test_thread_identity () =
+  let sched = Helpers.make_sched ~n:192 () in
+  let th = Sched.thread sched 191 in
+  Alcotest.(check int) "tid" 191 th.Sched.tid;
+  Alcotest.(check int) "socket" 3 th.Sched.socket;
+  Alcotest.(check int) "n_threads" 192 (Sched.n_threads sched)
+
+let test_oversubscription () =
+  (* 240 threads on the 192-thread machine: threads wrap onto shared CPUs
+     and are periodically preempted for whole timeslices. *)
+  let sched = Helpers.make_sched ~n:240 () in
+  let th = Sched.thread sched 200 in
+  Alcotest.(check int) "wraps to socket 0" 0 th.Sched.socket;
+  Sched.spawn sched th (fun th ->
+      for _ = 1 to 6 do
+        Sched.work ~scaled:false th Metrics.Ds 600_000;
+        Sched.checkpoint th
+      done);
+  Sched.run sched;
+  Alcotest.(check bool) "preemption inserted idle time" true
+    (th.Sched.metrics.Metrics.idle_ns > 0);
+  (* Not oversubscribed: no idle time ever. *)
+  let sched' = Helpers.make_sched ~n:4 () in
+  let th' = Sched.thread sched' 0 in
+  Sched.spawn sched' th' (fun th ->
+      for _ = 1 to 3 do
+        Sched.work ~scaled:false th Metrics.Ds 600_000;
+        Sched.checkpoint th
+      done);
+  Sched.run sched';
+  Alcotest.(check int) "no preemption when the machine fits" 0
+    th'.Sched.metrics.Metrics.idle_ns
+
+let suite =
+  ( "sched",
+    [
+      Helpers.quick "work_advances_clock" test_work_advances_clock;
+      Helpers.quick "smt_scaling" test_smt_scaling;
+      Helpers.quick "min_clock_interleaving" test_min_clock_interleaving;
+      Helpers.quick "determinism" test_determinism;
+      Helpers.quick "atomically_suppresses_checkpoints" test_atomically_suppresses_checkpoints;
+      Helpers.quick "atomically_restores_on_exception" test_atomically_restores_on_exception;
+      Helpers.quick "run_until_cutoff" test_run_until_cutoff;
+      Helpers.quick "wait_not_smt_scaled" test_wait_not_smt_scaled;
+      Helpers.quick "thread_identity" test_thread_identity;
+      Helpers.quick "oversubscription" test_oversubscription;
+    ] )

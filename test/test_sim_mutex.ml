@@ -1,0 +1,109 @@
+open Simcore
+
+let test_uncontended () =
+  Helpers.in_sim (fun sched th ->
+      let m = Sim_mutex.create () in
+      let cost = Sched.cost sched in
+      let t0 = Sched.now th in
+      Sim_mutex.lock m th;
+      Sim_mutex.unlock m th;
+      Alcotest.(check int) "only the acquire cost" (t0 + cost.Cost_model.lock_acquire)
+        (Sched.now th);
+      Alcotest.(check int) "one acquire" 1 m.Sim_mutex.acquires;
+      Alcotest.(check int) "no contention" 0 m.Sim_mutex.contended_acquires)
+
+let test_serialization () =
+  (* Two threads take the same lock and hold it for 1000ns each: the second
+     must observe the first's release time. *)
+  let m = Sim_mutex.create () in
+  let finish = Array.make 2 0 in
+  let _sched =
+    Helpers.in_sim_all ~n:2 (fun _sched th ->
+        Sim_mutex.lock m th;
+        Sched.work ~scaled:false th Metrics.Ds 1000;
+        Sim_mutex.unlock m th;
+        finish.(th.Sched.tid) <- Sched.now th)
+  in
+  let a = min finish.(0) finish.(1) and b = max finish.(0) finish.(1) in
+  Alcotest.(check bool) "critical sections serialize" true (b - a >= 1000);
+  Alcotest.(check int) "second acquisition was contended" 1 m.Sim_mutex.contended_acquires
+
+let test_remote_transfer_cost () =
+  (* Socket-crossing handoff is more expensive than same-socket. *)
+  let times = Array.make 2 0 in
+  let sched = Helpers.make_sched ~n:96 () in
+  let m = Sim_mutex.create () in
+  (* Thread 0 (socket 0) then thread 95 (socket 1). *)
+  Sched.spawn sched (Sched.thread sched 0) (fun th ->
+      Sim_mutex.lock m th;
+      Sim_mutex.unlock m th;
+      times.(0) <- Sched.now th);
+  Sched.spawn sched (Sched.thread sched 95) (fun th ->
+      Sched.work ~scaled:false th Metrics.Ds 10_000;
+      let t0 = Sched.now th in
+      Sim_mutex.lock m th;
+      Sim_mutex.unlock m th;
+      times.(1) <- Sched.now th - t0);
+  Sched.run sched;
+  let cost = Sched.cost sched in
+  Alcotest.(check int) "remote handoff pays the extra"
+    (cost.Cost_model.lock_acquire + cost.Cost_model.lock_remote_extra)
+    times.(1)
+
+let test_convoy_wake_cost () =
+  (* Many threads hammering one lock: late acquirers' waits exceed the spin
+     budget, so wake latencies chain into the total. *)
+  let m = Sim_mutex.create () in
+  let last_finish = ref 0 in
+  let n = 16 in
+  let _sched =
+    Helpers.in_sim_all ~n (fun sched th ->
+        ignore sched;
+        Sim_mutex.lock m th;
+        Sched.work ~scaled:false th Metrics.Ds 1000;
+        Sim_mutex.unlock m th;
+        if Sched.now th > !last_finish then last_finish := Sched.now th)
+  in
+  (* Pure serialization would cost ~n x 1000; convoys must add wakes. *)
+  Alcotest.(check bool) "wake latencies accumulate" true (!last_finish > n * 1000)
+
+let test_with_lock_releases_on_exception () =
+  Helpers.in_sim (fun _sched th ->
+      let m = Sim_mutex.create () in
+      (try Sim_mutex.with_lock m th (fun () -> failwith "boom")
+       with Failure _ -> ());
+      Alcotest.(check bool) "released" false m.Sim_mutex.locked;
+      (* Re-acquirable without error. *)
+      Sim_mutex.with_lock m th (fun () -> ());
+      Alcotest.(check int) "two acquires" 2 m.Sim_mutex.acquires)
+
+let test_unlock_unlocked () =
+  Helpers.in_sim (fun _sched th ->
+      let m = Sim_mutex.create () in
+      Alcotest.check_raises "cannot unlock an unlocked mutex"
+        (Invalid_argument "Sim_mutex.unlock: not locked") (fun () ->
+          Sim_mutex.unlock m th))
+
+let test_contention_ratio () =
+  let m = Sim_mutex.create () in
+  Alcotest.(check (float 0.001)) "no acquires" 0.0 (Sim_mutex.contention_ratio m);
+  let _sched =
+    Helpers.in_sim_all ~n:4 (fun _s th ->
+        Sim_mutex.lock m th;
+        Sched.work ~scaled:false th Metrics.Ds 500;
+        Sim_mutex.unlock m th)
+  in
+  Alcotest.(check bool) "ratio reflects collisions" true
+    (Sim_mutex.contention_ratio m > 0.)
+
+let suite =
+  ( "sim_mutex",
+    [
+      Helpers.quick "uncontended" test_uncontended;
+      Helpers.quick "serialization" test_serialization;
+      Helpers.quick "remote_transfer_cost" test_remote_transfer_cost;
+      Helpers.quick "convoy_wake_cost" test_convoy_wake_cost;
+      Helpers.quick "with_lock_releases_on_exception" test_with_lock_releases_on_exception;
+      Helpers.quick "unlock_unlocked" test_unlock_unlocked;
+      Helpers.quick "contention_ratio" test_contention_ratio;
+    ] )

@@ -1,0 +1,112 @@
+let mk () = Timeline.create ~n:4 ()
+
+let test_record_and_read () =
+  let t = mk () in
+  Timeline.record_event t ~tid:0 ~start:100 ~stop:200 ~value:5;
+  Timeline.record_dot t ~tid:1 ~time:150 ~value:3;
+  Alcotest.(check int) "one event" 1 (Timeline.total_events t);
+  Alcotest.(check int) "one dot" 1 (Timeline.total_dots t);
+  (match Timeline.events t 0 with
+  | [ e ] ->
+      Alcotest.(check int) "start" 100 e.Timeline.start;
+      Alcotest.(check int) "stop" 200 e.Timeline.stop;
+      Alcotest.(check int) "value" 5 e.Timeline.value
+  | _ -> Alcotest.fail "expected one event");
+  Alcotest.(check int) "other rows empty" 0 (List.length (Timeline.events t 1))
+
+let test_min_event_filter () =
+  let t = Timeline.create ~min_event_ns:1000 ~n:2 () in
+  Timeline.record_event t ~tid:0 ~start:0 ~stop:500 ~value:1;
+  Timeline.record_event t ~tid:0 ~start:0 ~stop:5000 ~value:1;
+  Alcotest.(check int) "short events filtered" 1 (Timeline.total_events t)
+
+let test_capacity_cap () =
+  let t = Timeline.create ~max_events_per_thread:10 ~n:1 () in
+  for i = 1 to 100 do
+    Timeline.record_event t ~tid:0 ~start:i ~stop:(i + 1) ~value:1
+  done;
+  Alcotest.(check int) "bounded recording" 10 (Timeline.total_events t)
+
+let test_render () =
+  let t = mk () in
+  Timeline.record_event t ~tid:0 ~start:1000 ~stop:5000 ~value:10;
+  Timeline.record_event t ~tid:2 ~start:6000 ~stop:9000 ~value:20;
+  Timeline.record_dot t ~tid:1 ~time:2000 ~value:1;
+  let s = Timeline.render ~width:50 ~threads:4 ~t0:0 ~t1:10_000 t in
+  Alcotest.(check bool) "has thread rows" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 4 && String.sub l 0 4 = "T000"));
+  Alcotest.(check bool) "has box characters" true (String.contains s '#');
+  Alcotest.(check bool) "has epoch rail" true (String.contains s 'o')
+
+let test_render_window_clips () =
+  let t = mk () in
+  Timeline.record_event t ~tid:0 ~start:0 ~stop:100 ~value:1;
+  let s = Timeline.render ~width:40 ~threads:1 ~t0:1_000_000 ~t1:2_000_000 t in
+  Alcotest.(check bool) "event outside window is not drawn" false (String.contains s '#')
+
+let test_csv () =
+  let t = mk () in
+  Timeline.record_event t ~tid:3 ~start:7 ~stop:9 ~value:2;
+  Timeline.record_dot t ~tid:0 ~time:5 ~value:1;
+  let csv = Timeline.to_csv t in
+  Alcotest.(check bool) "header" true
+    (String.length csv >= 25 && String.sub csv 0 25 = "kind,tid,start,stop,value");
+  Alcotest.(check bool) "event row" true
+    (String.split_on_char '\n' csv |> List.mem "event,3,7,9,2");
+  Alcotest.(check bool) "dot row" true (String.split_on_char '\n' csv |> List.mem "dot,0,5,5,1")
+
+let test_max_event_ns () =
+  let t = mk () in
+  Timeline.record_event t ~tid:0 ~start:0 ~stop:100 ~value:1;
+  Timeline.record_event t ~tid:1 ~start:0 ~stop:9999 ~value:1;
+  Alcotest.(check int) "longest event" 9999 (Timeline.max_event_ns t)
+
+let test_svg_render () =
+  let t = mk () in
+  Timeline.record_event t ~tid:0 ~start:1000 ~stop:5000 ~value:10;
+  Timeline.record_dot t ~tid:1 ~time:2000 ~value:1;
+  let svg = Timeline.Svg.render ~title:"demo" ~t0:0 ~t1:10_000 t in
+  Alcotest.(check bool) "is an svg document" true
+    (Helpers.contains svg "<svg" && Helpers.contains svg "</svg>");
+  Alcotest.(check bool) "has a box" true (Helpers.contains svg "<rect");
+  Alcotest.(check bool) "has a dot" true (Helpers.contains svg "<circle");
+  Alcotest.(check bool) "has the title" true (Helpers.contains svg "demo");
+  (* Escaping. *)
+  let svg2 = Timeline.Svg.render ~title:"a<b&c" ~t0:0 ~t1:10 t in
+  Alcotest.(check bool) "escapes markup" true (Helpers.contains svg2 "a&lt;b&amp;c")
+
+let test_svg_write_file () =
+  let t = mk () in
+  Timeline.record_event t ~tid:0 ~start:0 ~stop:10 ~value:1;
+  let path = Filename.temp_file "timeline" ".svg" in
+  Timeline.Svg.write_file path (Timeline.Svg.render ~t0:0 ~t1:100 t);
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check bool) "file starts with svg tag" true (Helpers.contains line "<svg")
+
+let test_attach_hooks () =
+  Helpers.in_sim ~n:2 (fun _sched th ->
+      let t = Timeline.create ~n:2 () in
+      Timeline.attach_reclaim t th;
+      th.Simcore.Sched.hooks.Simcore.Sched.on_reclaim_event ~start:1 ~stop:2 ~count:3;
+      th.Simcore.Sched.hooks.Simcore.Sched.on_epoch_advance ~time:5 ~epoch:1;
+      Alcotest.(check int) "hook records event" 1 (Timeline.total_events t);
+      Alcotest.(check int) "hook records dot" 1 (Timeline.total_dots t))
+
+let suite =
+  ( "timeline",
+    [
+      Helpers.quick "record_and_read" test_record_and_read;
+      Helpers.quick "min_event_filter" test_min_event_filter;
+      Helpers.quick "capacity_cap" test_capacity_cap;
+      Helpers.quick "render" test_render;
+      Helpers.quick "render_window_clips" test_render_window_clips;
+      Helpers.quick "csv" test_csv;
+      Helpers.quick "max_event_ns" test_max_event_ns;
+      Helpers.quick "svg_render" test_svg_render;
+      Helpers.quick "svg_write_file" test_svg_write_file;
+      Helpers.quick "attach_hooks" test_attach_hooks;
+    ] )

@@ -1,0 +1,69 @@
+open Simcore
+
+let t = Topology.intel_192t
+
+let test_totals () =
+  Alcotest.(check int) "logical per socket" 48 (Topology.logical_per_socket t);
+  Alcotest.(check int) "total threads" 192 (Topology.total_threads t)
+
+let test_socket_fill () =
+  (* Paper pinning: threads 0-47 on socket 0, 48-95 on socket 1, ... *)
+  Alcotest.(check int) "thread 0" 0 (Topology.socket_of_thread t 0);
+  Alcotest.(check int) "thread 47" 0 (Topology.socket_of_thread t 47);
+  Alcotest.(check int) "thread 48" 1 (Topology.socket_of_thread t 48);
+  Alcotest.(check int) "thread 191" 3 (Topology.socket_of_thread t 191);
+  (* Oversubscription wraps around. *)
+  Alcotest.(check int) "thread 192 wraps to socket 0" 0 (Topology.socket_of_thread t 192);
+  Alcotest.(check (float 0.001)) "oversubscription factor" 1.25
+    (Topology.oversubscription t ~n:240)
+
+let test_hyperthread_siblings () =
+  (* Threads i and i+24 within a socket share a physical core. *)
+  Alcotest.(check int) "core of thread 0" 0 (Topology.core_of_thread t 0);
+  Alcotest.(check int) "core of thread 24" 0 (Topology.core_of_thread t 24);
+  Alcotest.(check int) "core of thread 1" 1 (Topology.core_of_thread t 1);
+  Alcotest.(check int) "core of thread 48 (socket 1)" 24 (Topology.core_of_thread t 48)
+
+let test_shares_core () =
+  (* With 24 threads, nobody shares; with 48, everybody does. *)
+  for i = 0 to 23 do
+    Alcotest.(check bool) "24 threads: no SMT" false (Topology.shares_core t ~n:24 i)
+  done;
+  for i = 0 to 47 do
+    Alcotest.(check bool) "48 threads: all SMT" true (Topology.shares_core t ~n:48 i)
+  done;
+  (* 36 threads: 0-11 share with 24-35; 12-23 run alone. *)
+  Alcotest.(check bool) "thread 0 shares at 36" true (Topology.shares_core t ~n:36 0);
+  Alcotest.(check bool) "thread 12 alone at 36" false (Topology.shares_core t ~n:36 12)
+
+let test_sockets_used () =
+  Alcotest.(check int) "0 threads" 0 (Topology.sockets_used t ~n:0);
+  Alcotest.(check int) "1 thread" 1 (Topology.sockets_used t ~n:1);
+  Alcotest.(check int) "48 threads" 1 (Topology.sockets_used t ~n:48);
+  Alcotest.(check int) "49 threads" 2 (Topology.sockets_used t ~n:49);
+  Alcotest.(check int) "192 threads" 4 (Topology.sockets_used t ~n:192)
+
+let test_no_smt_machine () =
+  let m = Topology.intel_144c in
+  Alcotest.(check int) "144 threads total" 144 (Topology.total_threads m);
+  for i = 0 to 143 do
+    if Topology.shares_core m ~n:144 i then
+      Alcotest.failf "thread %d shares a core on an SMT-1 machine" i
+  done
+
+let test_by_name () =
+  Alcotest.(check bool) "intel alias" true (Topology.by_name "intel" = Some Topology.intel_192t);
+  Alcotest.(check bool) "amd alias" true (Topology.by_name "amd" = Some Topology.amd_256c);
+  Alcotest.(check bool) "unknown" true (Topology.by_name "riscv" = None)
+
+let suite =
+  ( "topology",
+    [
+      Helpers.quick "totals" test_totals;
+      Helpers.quick "socket_fill" test_socket_fill;
+      Helpers.quick "hyperthread_siblings" test_hyperthread_siblings;
+      Helpers.quick "shares_core" test_shares_core;
+      Helpers.quick "sockets_used" test_sockets_used;
+      Helpers.quick "no_smt_machine" test_no_smt_machine;
+      Helpers.quick "by_name" test_by_name;
+    ] )
