@@ -1,4 +1,5 @@
-.PHONY: all build test bench bench-quick examples clean
+.PHONY: all build test bench bench-quick bench-smoke examples regress regress-exact \
+	regress-perf regress-bless fmt fmt-check deps deps-fmt clean
 
 all: build
 
@@ -14,6 +15,50 @@ bench:
 
 bench-quick:
 	QUICK=1 dune exec bench/main.exe
+
+# The cheapest bench subset: exercises bench/main.exe in CI without the
+# 40-minute cost.
+bench-smoke:
+	QUICK=1 dune exec bench/main.exe -- smoke
+
+# Regression harness: run the simbench suite against the golden baselines
+# under regress/baselines/. `regress` applies both gates; the -exact and
+# -perf variants are the split CI jobs.
+regress:
+	dune exec bin/simbench.exe -- check --out simbench-results.json
+
+regress-exact:
+	dune exec bin/simbench.exe -- check --exact --out simbench-results.json
+
+regress-perf:
+	dune exec bin/simbench.exe -- check --perf --out simbench-results.json
+
+# Re-record the golden baselines (multi-seed, derives the perf tolerances).
+# Review the diff before committing: blessing legitimizes whatever the
+# current build produces.
+regress-bless:
+	dune exec bin/simbench.exe -- bless
+
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune fmt; \
+	else \
+		echo "warning: ocamlformat not installed; skipping (make deps-fmt)"; \
+	fi
+
+fmt-check:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+		dune build @fmt; \
+	else \
+		echo "warning: ocamlformat not installed; skipping format check (make deps-fmt)"; \
+	fi
+
+# Dependency setup wrappers so CI jobs only ever invoke make/dune targets.
+deps:
+	opam install . --deps-only --with-test --yes
+
+deps-fmt:
+	opam install --yes ocamlformat.0.26.2
 
 examples:
 	dune exec examples/quickstart.exe

@@ -10,14 +10,20 @@
    qualitative shape checks against the paper's reported numbers. *)
 
 let usage () =
-  print_endline "usage: main.exe [experiment-id ...] | list | micro";
+  print_endline "usage: main.exe [experiment-id ...] | list | micro | smoke";
   print_endline "experiments:";
   List.iter (fun (id, _) -> Printf.printf "  %s\n" id) (Figures.all_figures @ Figures.extras)
 
-let run_one id =
+(* The cheapest representative subset, for CI: exercises the full
+   config -> runner -> figure -> shape-check pipeline in well under a
+   minute with QUICK=1 (`make bench-smoke`). *)
+let smoke_ids = [ "fig1" ]
+
+let rec run_one id =
   match List.assoc_opt id (Figures.all_figures @ Figures.extras) with
   | Some f -> f ()
   | None when id = "micro" -> Micro.run ()
+  | None when id = "smoke" -> List.iter run_one smoke_ids
   | None ->
       Printf.printf "unknown experiment %S\n" id;
       usage ();

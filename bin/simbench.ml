@@ -1,0 +1,222 @@
+(* simbench: the deterministic regression harness CLI.
+
+     dune exec bin/simbench.exe -- run                # run suite, write results JSON
+     dune exec bin/simbench.exe -- check --exact      # digest gate (bit-exact determinism)
+     dune exec bin/simbench.exe -- check --perf       # tolerance gate (throughput / garbage)
+     dune exec bin/simbench.exe -- bless              # regenerate regress/baselines/
+     dune exec bin/simbench.exe -- list | manifest
+
+   The suite of record is regress/suite.json (builtin fallback when the
+   file is absent); golden files live under regress/baselines/, one JSON
+   per entry. `check` exits non-zero on any gate failure and prints a
+   per-metric diff. All output files are canonical JSON: running the same
+   suite twice produces byte-identical bytes, which is itself the
+   determinism contract the exact gate enforces. *)
+
+open Cmdliner
+
+let default_suite_path = "regress/suite.json"
+let default_baselines_dir = "regress/baselines"
+let default_out = "simbench-results.json"
+
+let suite_arg =
+  Arg.(
+    value
+    & opt string default_suite_path
+    & info [ "suite" ] ~docv:"FILE"
+        ~doc:"Suite manifest. When the default path is absent the builtin suite is used.")
+
+let baselines_arg =
+  Arg.(
+    value
+    & opt string default_baselines_dir
+    & info [ "baselines" ] ~docv:"DIR" ~doc:"Directory of golden baseline files.")
+
+let out_arg =
+  Arg.(
+    value
+    & opt string default_out
+    & info [ "out" ] ~docv:"FILE" ~doc:"Where to write the run's results as JSON.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 3
+    & info [ "seeds" ] ~docv:"K"
+        ~doc:"Seeds per entry used to derive perf tolerances when blessing.")
+
+let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+(* Load the suite of record: an explicit or default manifest file when
+   present, the builtin suite otherwise. Returns the entries and a label
+   recorded in the results file. *)
+let load_suite path =
+  if Sys.file_exists path then
+    match Regress.Suite.load path with
+    | Ok entries -> (entries, path)
+    | Error msg -> die "simbench: %s" msg
+  else if path <> default_suite_path then die "simbench: suite manifest %s does not exist" path
+  else (Regress.Suite.builtin, "builtin")
+
+let run_entry (e : Regress.Suite.entry) =
+  let cfg = e.Regress.Suite.config in
+  let trial = Runtime.Runner.run_trial cfg ~seed:cfg.Runtime.Config.seed in
+  (trial, Regress.Baseline.of_trial ~id:e.Regress.Suite.id trial)
+
+let results_json ~suite_label results =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int Regress.Baseline.schema_version);
+      ("suite", Json.String suite_label);
+      ( "results",
+        Json.List
+          (List.map
+             (fun (trial, res) ->
+               match Regress.Baseline.to_json res with
+               | Json.Assoc fields ->
+                   Json.Assoc (fields @ [ ("trial", Runtime.Trial.to_json trial) ])
+               | j -> j)
+             results) );
+    ]
+
+let write_results ~out ~suite_label results =
+  Out_channel.with_open_bin out (fun oc ->
+      Out_channel.output_string oc (Json.render (results_json ~suite_label results)));
+  Printf.printf "results written to %s\n" out
+
+let summary_table results =
+  let table =
+    Report.Table.create
+      [ "entry"; "ops/s"; "peak garbage"; "end garbage"; "op p99"; "viol"; "digest" ]
+  in
+  List.iter
+    (fun ((trial : Runtime.Trial.t), (res : Regress.Baseline.result)) ->
+      Report.Table.add_row table
+        [
+          res.Regress.Baseline.id;
+          Report.Table.mops trial.Runtime.Trial.throughput;
+          Report.Table.count trial.Runtime.Trial.peak_epoch_garbage;
+          Report.Table.count trial.Runtime.Trial.end_garbage;
+          Report.Table.count (Runtime.Trial.op_p trial 99.);
+          string_of_int trial.Runtime.Trial.violations;
+          String.sub res.Regress.Baseline.digest 0 12;
+        ])
+    results;
+  Report.Table.render table
+
+let run_suite entries =
+  List.map
+    (fun (e : Regress.Suite.entry) ->
+      Printf.eprintf "simbench: running %s (%s)\n%!" e.Regress.Suite.id
+        (Runtime.Config.label e.Regress.Suite.config);
+      run_entry e)
+    entries
+
+let run_cmd =
+  let run suite out =
+    let entries, suite_label = load_suite suite in
+    let results = run_suite entries in
+    print_string (summary_table results);
+    write_results ~out ~suite_label results
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run the suite and write its results as canonical JSON.")
+    Term.(const run $ suite_arg $ out_arg)
+
+let check_cmd =
+  let exact_flag = Arg.(value & flag & info [ "exact" ] ~doc:"Digest gate: bit-exact determinism.") in
+  let perf_flag =
+    Arg.(value & flag & info [ "perf" ] ~doc:"Tolerance gate: throughput and peak garbage.")
+  in
+  let run suite baselines out exact perf =
+    (* No mode flag means both gates. *)
+    let exact, perf = if exact || perf then (exact, perf) else (true, true) in
+    let entries, suite_label = load_suite suite in
+    let results = run_suite entries in
+    let findings =
+      List.concat_map
+        (fun (_, (res : Regress.Baseline.result)) ->
+          match Regress.Baseline.load ~dir:baselines res.Regress.Baseline.id with
+          | Error msg -> [ Regress.Gate.error ~id:res.Regress.Baseline.id msg ]
+          | Ok expected ->
+              (if exact then Regress.Gate.exact ~expected ~got:res else [])
+              @ (if perf then Regress.Gate.perf ~expected ~got:res else []))
+        results
+    in
+    print_endline (Regress.Gate.render findings);
+    write_results ~out ~suite_label results;
+    if Regress.Gate.all_ok findings then
+      Printf.printf "simbench check: %d findings, all ok\n" (List.length findings)
+    else begin
+      let failed = List.length (List.filter (fun f -> not f.Regress.Gate.ok) findings) in
+      Printf.printf "simbench check: %d of %d findings FAILED\n" failed (List.length findings);
+      exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Run the suite and compare against the golden baselines.")
+    Term.(const run $ suite_arg $ baselines_arg $ out_arg $ exact_flag $ perf_flag)
+
+let bless_cmd =
+  let run suite baselines seeds =
+    if seeds < 1 then die "simbench: --seeds must be at least 1";
+    let entries, _ = load_suite suite in
+    List.iter
+      (fun (e : Regress.Suite.entry) ->
+        let cfg = e.Regress.Suite.config in
+        let id = e.Regress.Suite.id in
+        Printf.eprintf "simbench: blessing %s over %d seed(s)\n%!" id seeds;
+        let runs =
+          List.init seeds (fun i ->
+              let trial = Runtime.Runner.run_trial cfg ~seed:(cfg.Runtime.Config.seed + i) in
+              Regress.Baseline.of_trial ~id trial)
+        in
+        let tol = Regress.Baseline.derive_tolerance runs in
+        let blessed = Regress.Baseline.with_tolerance tol (List.hd runs) in
+        Regress.Baseline.save ~dir:baselines blessed;
+        Printf.printf "blessed %-18s seed %d  tol: throughput -%.1f%%, garbage +%.1f%%+%d\n" id
+          blessed.Regress.Baseline.seed
+          (tol.Regress.Baseline.max_throughput_drop *. 100.)
+          (tol.Regress.Baseline.max_garbage_rise *. 100.)
+          tol.Regress.Baseline.garbage_slack)
+      entries;
+    Printf.printf "baselines written to %s\n" baselines
+  in
+  Cmd.v
+    (Cmd.info "bless" ~doc:"Regenerate the golden baselines (with multi-seed tolerances).")
+    Term.(const run $ suite_arg $ baselines_arg $ seeds_arg)
+
+let list_cmd =
+  let run suite =
+    let entries, suite_label = load_suite suite in
+    Printf.printf "suite: %s (%d entries)\n" suite_label (List.length entries);
+    List.iter
+      (fun (e : Regress.Suite.entry) ->
+        Printf.printf "  %-18s %s\n" e.Regress.Suite.id
+          (Runtime.Config.label e.Regress.Suite.config))
+      entries
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the suite entries.") Term.(const run $ suite_arg)
+
+let manifest_cmd =
+  let out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out" ] ~docv:"FILE" ~doc:"Write the manifest to $(docv) instead of stdout.")
+  in
+  let run out =
+    let manifest = Regress.Suite.to_manifest Regress.Suite.builtin in
+    match out with
+    | None -> print_string (Json.render manifest)
+    | Some path ->
+        Regress.Suite.save path Regress.Suite.builtin;
+        Printf.printf "manifest written to %s\n" path
+  in
+  Cmd.v
+    (Cmd.info "manifest" ~doc:"Emit the builtin suite as a manifest (the format of regress/suite.json).")
+    Term.(const run $ out_arg)
+
+let () =
+  let doc = "Deterministic regression harness: golden baselines and perf gates" in
+  let info = Cmd.info "simbench" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; check_cmd; bless_cmd; list_cmd; manifest_cmd ]))

@@ -1,0 +1,129 @@
+(* Gate logic. See gate.mli. *)
+
+type finding = { id : string; metric : string; ok : bool; detail : string }
+
+let error ~id detail = { id; metric = "baseline"; ok = false; detail }
+let all_ok = List.for_all (fun f -> f.ok)
+
+(* Metric-aware value formatting for readable diffs. *)
+let show metric v =
+  if Float.is_integer v then begin
+    let i = int_of_float v in
+    match metric with
+    | "throughput" -> Report.Table.mops v
+    | "peak_mapped_bytes" | "peak_live_bytes" -> Report.Table.bytes i
+    | _ -> Report.Table.count i
+  end
+  else if metric = "throughput" then Report.Table.mops v
+  else Printf.sprintf "%.2f" v
+
+let pct_change ~from ~to_ =
+  if from = 0. then if to_ = 0. then 0. else Float.infinity
+  else (to_ -. from) /. from *. 100.
+
+let change_str ~metric ~from ~to_ =
+  Printf.sprintf "%s -> %s (%+.1f%%)" (show metric from) (show metric to_)
+    (pct_change ~from ~to_)
+
+let exact ~(expected : Baseline.result) ~(got : Baseline.result) =
+  let id = expected.Baseline.id in
+  if expected.Baseline.seed <> got.Baseline.seed then
+    [
+      {
+        id;
+        metric = "seed";
+        ok = false;
+        detail =
+          Printf.sprintf "baseline was blessed with seed %d but the run used seed %d"
+            expected.Baseline.seed got.Baseline.seed;
+      };
+    ]
+  else if String.equal expected.Baseline.digest got.Baseline.digest then
+    [ { id; metric = "digest"; ok = true; detail = got.Baseline.digest } ]
+  else begin
+    let moved =
+      List.filter_map
+        (fun (name, _) ->
+          match (Baseline.metric expected name, Baseline.metric got name) with
+          | Some a, Some b when a <> b ->
+              Some { id; metric = name; ok = false; detail = change_str ~metric:name ~from:a ~to_:b }
+          | Some _, None ->
+              Some { id; metric = name; ok = false; detail = "missing from this run" }
+          | _ -> None)
+        expected.Baseline.metrics
+    in
+    let digest_finding =
+      {
+        id;
+        metric = "digest";
+        ok = false;
+        detail =
+          Printf.sprintf "expected %s, got %s%s" expected.Baseline.digest got.Baseline.digest
+            (if moved = [] then
+               " (summary metrics agree; deep state — histograms or garbage trace — diverged)"
+             else "");
+      }
+    in
+    digest_finding :: moved
+  end
+
+let perf ~(expected : Baseline.result) ~(got : Baseline.result) =
+  let id = expected.Baseline.id in
+  let tol =
+    match expected.Baseline.tolerance with
+    | Some tol -> tol
+    | None -> Baseline.default_tolerance
+  in
+  let need name k =
+    match (Baseline.metric expected name, Baseline.metric got name) with
+    | Some a, Some b -> k a b
+    | _ -> { id; metric = name; ok = false; detail = "metric missing from baseline or run" }
+  in
+  let throughput =
+    need "throughput" (fun exp got_v ->
+        let floor = exp *. (1. -. tol.Baseline.max_throughput_drop) in
+        {
+          id;
+          metric = "throughput";
+          ok = got_v >= floor;
+          detail =
+            Printf.sprintf "%s, allowed drop %.1f%% (floor %s)"
+              (change_str ~metric:"throughput" ~from:exp ~to_:got_v)
+              (tol.Baseline.max_throughput_drop *. 100.)
+              (Report.Table.mops floor);
+        })
+  in
+  let garbage =
+    need "peak_epoch_garbage" (fun exp got_v ->
+        let ceiling =
+          (exp *. (1. +. tol.Baseline.max_garbage_rise))
+          +. float_of_int tol.Baseline.garbage_slack
+        in
+        {
+          id;
+          metric = "peak_epoch_garbage";
+          ok = got_v <= ceiling;
+          detail =
+            Printf.sprintf "%s, allowed rise %.1f%% + %d (ceiling %s)"
+              (change_str ~metric:"peak_epoch_garbage" ~from:exp ~to_:got_v)
+              (tol.Baseline.max_garbage_rise *. 100.)
+              tol.Baseline.garbage_slack
+              (Report.Table.count (int_of_float ceiling));
+        })
+  in
+  let violations =
+    need "violations" (fun _ got_v ->
+        {
+          id;
+          metric = "violations";
+          ok = got_v = 0.;
+          detail = Printf.sprintf "%.0f grace-period violations (must be 0)" got_v;
+        })
+  in
+  [ throughput; garbage; violations ]
+
+let render findings =
+  let line f =
+    Printf.sprintf "%s %-18s %-20s %s" (if f.ok then " ok " else "FAIL") f.id f.metric f.detail
+  in
+  String.concat "\n" (List.map line findings)

@@ -1,0 +1,31 @@
+(** Gate logic: compare a freshly measured {!Baseline.result} against the
+    checked-in golden one and produce findings that render as a readable
+    per-metric diff.
+
+    Two modes, matching [simbench check]:
+    - {!exact} enforces the simulator's determinism contract: the digest of
+      the full serialized trial must match bit-for-bit for the same seed.
+      On mismatch, every summary metric that moved is reported.
+    - {!perf} enforces the performance envelope: throughput may not drop,
+      and peak epoch garbage may not rise, beyond the baseline's blessed
+      tolerance (derived from multi-seed variance at bless time).
+      Grace-period violations must stay at zero. *)
+
+type finding = {
+  id : string;  (** suite entry *)
+  metric : string;
+  ok : bool;
+  detail : string;  (** human-readable expected/actual/tolerance *)
+}
+
+val exact : expected:Baseline.result -> got:Baseline.result -> finding list
+val perf : expected:Baseline.result -> got:Baseline.result -> finding list
+
+val error : id:string -> string -> finding
+(** A finding for a failure that precedes comparison (missing or corrupt
+    baseline file, unknown suite entry, ...). *)
+
+val all_ok : finding list -> bool
+
+val render : finding list -> string
+(** One line per finding, failures marked [FAIL]. *)

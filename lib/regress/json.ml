@@ -1,0 +1,311 @@
+(* Minimal deterministic JSON for the regression harness. See json.mli for
+   why this exists (no JSON package in the container; canonical output). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Assoc of (string * t) list
+
+exception Type_error of string
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | String _ -> "string"
+  | List _ -> "list"
+  | Assoc _ -> "object"
+
+let fail expected j =
+  raise (Type_error (Printf.sprintf "expected %s, got %s" expected (type_name j)))
+
+let to_bool = function Bool b -> b | j -> fail "bool" j
+let to_int = function Int i -> i | j -> fail "int" j
+
+let to_float = function
+  | Float f -> f
+  | Int i -> float_of_int i
+  | String "nan" -> Float.nan
+  | String "inf" -> Float.infinity
+  | String "-inf" -> Float.neg_infinity
+  | j -> fail "float" j
+
+let to_string = function String s -> s | j -> fail "string" j
+let to_list = function List l -> l | j -> fail "list" j
+let to_assoc = function Assoc l -> l | j -> fail "object" j
+
+let member name = function
+  | Assoc l -> ( match List.assoc_opt name l with Some v -> v | None -> Null)
+  | j -> fail "object" j
+
+let mem name = function Assoc l -> List.mem_assoc name l | _ -> false
+
+(* Shortest decimal form that round-trips; integers keep a ".0" so the
+   value parses back as a float. Deterministic: depends only on the bits of
+   the double, never on locale or environment. *)
+let float_str f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else
+    let s = Printf.sprintf "%.12g" f in
+    if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let add_escaped b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let render ?(minify = false) t =
+  let b = Buffer.create 256 in
+  let newline indent =
+    if not minify then begin
+      Buffer.add_char b '\n';
+      Buffer.add_string b (String.make indent ' ')
+    end
+  in
+  let rec go indent = function
+    | Null -> Buffer.add_string b "null"
+    | Bool v -> Buffer.add_string b (if v then "true" else "false")
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_nan f then add_escaped b "nan"
+        else if f = Float.infinity then add_escaped b "inf"
+        else if f = Float.neg_infinity then add_escaped b "-inf"
+        else Buffer.add_string b (float_str f)
+    | String s -> add_escaped b s
+    | List [] -> Buffer.add_string b "[]"
+    | List items ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i item ->
+            if i > 0 then Buffer.add_char b ',';
+            newline (indent + 2);
+            go (indent + 2) item)
+          items;
+        newline indent;
+        Buffer.add_char b ']'
+    | Assoc [] -> Buffer.add_string b "{}"
+    | Assoc fields ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, v) ->
+            if i > 0 then Buffer.add_char b ',';
+            newline (indent + 2);
+            add_escaped b k;
+            Buffer.add_string b (if minify then ":" else ": ");
+            go (indent + 2) v)
+          fields;
+        newline indent;
+        Buffer.add_char b '}'
+  in
+  go 0 t;
+  if not minify then Buffer.add_char b '\n';
+  Buffer.contents b
+
+(* Recursive-descent parser over a byte offset. *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let n = String.length s in
+  let pos = ref 0 in
+  let error msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < n then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> error (Printf.sprintf "expected %C" c)
+  in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let literal word v =
+    if !pos + String.length word <= n && String.sub s !pos (String.length word) = word then begin
+      pos := !pos + String.length word;
+      v
+    end
+    else error ("invalid literal, expected " ^ word)
+  in
+  let parse_hex4 () =
+    if !pos + 4 > n then error "truncated \\u escape";
+    let h = String.sub s !pos 4 in
+    pos := !pos + 4;
+    match int_of_string_opt ("0x" ^ h) with
+    | Some c -> c
+    | None -> error "invalid \\u escape"
+  in
+  let utf8_add b cp =
+    if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+    else if cp < 0x800 then begin
+      Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+    else if cp >= 0xD800 && cp <= 0xDFFF then error "unsupported surrogate escape"
+    else begin
+      Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+      Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+      Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+    end
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec loop () =
+      match peek () with
+      | None -> error "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' ->
+              advance ();
+              Buffer.add_char b '"';
+              loop ()
+          | Some '\\' ->
+              advance ();
+              Buffer.add_char b '\\';
+              loop ()
+          | Some '/' ->
+              advance ();
+              Buffer.add_char b '/';
+              loop ()
+          | Some 'n' ->
+              advance ();
+              Buffer.add_char b '\n';
+              loop ()
+          | Some 'r' ->
+              advance ();
+              Buffer.add_char b '\r';
+              loop ()
+          | Some 't' ->
+              advance ();
+              Buffer.add_char b '\t';
+              loop ()
+          | Some 'b' ->
+              advance ();
+              Buffer.add_char b '\b';
+              loop ()
+          | Some 'f' ->
+              advance ();
+              Buffer.add_char b '\012';
+              loop ()
+          | Some 'u' ->
+              advance ();
+              utf8_add b (parse_hex4 ());
+              loop ()
+          | _ -> error "invalid escape")
+      | Some c ->
+          advance ();
+          Buffer.add_char b c;
+          loop ()
+    in
+    loop ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    while (match peek () with Some c -> is_num_char c | None -> false) do
+      advance ()
+    done;
+    let text = String.sub s start (!pos - start) in
+    let is_float = String.exists (function '.' | 'e' | 'E' -> true | _ -> false) text in
+    if is_float then
+      match float_of_string_opt text with
+      | Some f -> Float f
+      | None -> error "invalid number"
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> (
+          match float_of_string_opt text with
+          | Some f -> Float f
+          | None -> error "invalid number")
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> error "unexpected end of input"
+    | Some 'n' -> literal "null" Null
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some '"' -> String (parse_string ())
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then begin
+          advance ();
+          List []
+        end
+        else begin
+          let items = ref [ parse_value () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            items := parse_value () :: !items;
+            skip_ws ()
+          done;
+          expect ']';
+          List (List.rev !items)
+        end
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then begin
+          advance ();
+          Assoc []
+        end
+        else begin
+          let field () =
+            skip_ws ();
+            let k = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            (k, v)
+          in
+          let fields = ref [ field () ] in
+          skip_ws ();
+          while peek () = Some ',' do
+            advance ();
+            fields := field () :: !fields;
+            skip_ws ()
+          done;
+          expect '}';
+          Assoc (List.rev !fields)
+        end
+    | Some ('0' .. '9' | '-') -> parse_number ()
+    | Some c -> error (Printf.sprintf "unexpected character %C" c)
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then error "trailing content after document";
+    v
+  with
+  | v -> Ok v
+  | exception Parse_error (at, msg) -> Error (Printf.sprintf "JSON parse error at byte %d: %s" at msg)
+
+let parse_exn s = match parse s with Ok v -> v | Error msg -> invalid_arg msg

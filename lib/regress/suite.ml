@@ -1,0 +1,122 @@
+(* The curated simbench suite. Configurations are deliberately tiny — a few
+   virtual milliseconds each — because the gate must run on every PR; the
+   paper-scale numbers live in bench/, not here. *)
+
+type entry = { id : string; config : Runtime.Config.t }
+
+let schema_version = 1
+
+(* Small windows, steady-state prefill, safety validator armed. The list
+   runs on a smaller key range: its operations are O(n) and 512 keys
+   already exercises every reclamation path. *)
+let base ~ds ~smr ~threads =
+  let key_range = match ds with "list" -> 512 | _ -> 4096 in
+  {
+    Runtime.Config.default with
+    Runtime.Config.ds;
+    smr;
+    threads;
+    key_range;
+    warmup_ns = 1_000_000;
+    duration_ns = 8_000_000;
+    grace_ns = 8_000_000;
+    seed = 42;
+    trials = 1;
+    validate = true;
+  }
+
+let builtin =
+  List.map
+    (fun (id, ds, smr, threads) -> { id; config = base ~ds ~smr ~threads })
+    [
+      (* EBR (DEBRA) vs Token-EBR vs their amortized-free variants, over the
+         three structures and 1/8/32 simulated threads. *)
+      ("ll-ebr-n1", "list", "debra", 1);
+      ("ll-ebr-af-n8", "list", "debra_af", 8);
+      ("ll-token-n8", "list", "token", 8);
+      ("ll-token-af-n1", "list", "token_af", 1);
+      ("sl-ebr-n8", "skiplist", "debra", 8);
+      ("sl-ebr-af-n1", "skiplist", "debra_af", 1);
+      ("sl-token-n32", "skiplist", "token", 32);
+      ("sl-token-af-n32", "skiplist", "token_af", 32);
+      ("occ-ebr-n32", "occtree", "debra", 32);
+      ("occ-ebr-af-n32", "occtree", "debra_af", 32);
+      ("occ-token-n8", "occtree", "token", 8);
+      ("occ-token-af-n32", "occtree", "token_af", 32);
+    ]
+
+let to_manifest entries =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int schema_version);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun e ->
+               match Runtime.Config.to_json e.config with
+               | Json.Assoc fields -> Json.Assoc (("id", Json.String e.id) :: fields)
+               | j -> j)
+             entries) );
+    ]
+
+let of_manifest j =
+  try
+    let v = Json.member "schema_version" j in
+    (match v with
+    | Json.Int v when v = schema_version -> ()
+    | Json.Int v -> failwith (Printf.sprintf "unsupported manifest schema_version %d" v)
+    | _ -> failwith "manifest missing schema_version");
+    let defaults =
+      match Json.member "defaults" j with
+      | Json.Null -> Runtime.Config.default
+      | d -> (
+          match Runtime.Config.of_json d with
+          | Ok cfg -> cfg
+          | Error msg -> failwith ("manifest defaults: " ^ msg))
+    in
+    let entry ej =
+      let id =
+        match Json.member "id" ej with
+        | Json.String id when id <> "" -> id
+        | Json.String _ -> failwith "entry with empty id"
+        | _ -> failwith "entry missing id"
+      in
+      let overrides = List.filter (fun (k, _) -> k <> "id") (Json.to_assoc ej) in
+      match Runtime.Config.of_json ~base:defaults (Json.Assoc overrides) with
+      | Ok config -> { id; config }
+      | Error msg -> failwith (Printf.sprintf "entry %S: %s" id msg)
+    in
+    let entries = List.map entry (Json.to_list (Json.member "entries" j)) in
+    if entries = [] then failwith "manifest has no entries";
+    let seen = Hashtbl.create 16 in
+    List.iter
+      (fun e ->
+        if Hashtbl.mem seen e.id then failwith (Printf.sprintf "duplicate entry id %S" e.id);
+        Hashtbl.add seen e.id ())
+      entries;
+    Ok entries
+  with
+  | Failure msg -> Error msg
+  | Json.Type_error msg -> Error msg
+
+let load path =
+  match In_channel.with_open_bin path In_channel.input_all with
+  | contents -> (
+      match Json.parse contents with
+      | Ok j -> (
+          match of_manifest j with
+          | Ok entries -> Ok entries
+          | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+      | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
+  | exception Sys_error msg -> Error msg
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save path entries =
+  mkdir_p (Filename.dirname path);
+  Out_channel.with_open_bin path (fun oc ->
+      Out_channel.output_string oc (Json.render (to_manifest entries)))

@@ -1,0 +1,28 @@
+(** The curated simbench suite: small, fast trial configurations spanning
+    the paper's axes (EBR vs Token-EBR vs amortized-free variants ×
+    data structures × thread counts), each cheap enough that the whole
+    suite runs in seconds and CI can gate every PR on it.
+
+    The suite of record is the checked-in manifest [regress/suite.json];
+    {!builtin} is the same list compiled in, used as the fallback when the
+    manifest is absent and as the generator for [simbench manifest]. *)
+
+type entry = { id : string; config : Runtime.Config.t }
+
+val builtin : entry list
+(** ~12 configurations: {debra, token} × batch/amortized free ×
+    {list, skiplist, occtree} × {1, 8, 32} simulated threads. *)
+
+val to_manifest : entry list -> Json.t
+(** Manifest form: schema version plus one full config object per entry. *)
+
+val of_manifest : Json.t -> (entry list, string) result
+(** Accepts an optional ["defaults"] block of config overrides applied
+    before each entry's own fields. Duplicate or empty ids are errors. *)
+
+val load : string -> (entry list, string) result
+(** Read and parse a manifest file. *)
+
+val save : string -> entry list -> unit
+
+val schema_version : int

@@ -68,3 +68,82 @@ let default =
 
 let label cfg =
   Printf.sprintf "%s/%s/%s n=%d" cfg.ds cfg.smr cfg.alloc cfg.threads
+
+(* Manifest (de)serialization for the regression harness: every simbench
+   suite entry is a set of overrides applied to [default] (or to a
+   manifest-level defaults block). [alloc_config] and [cost] are not
+   expressible in manifests and keep the base values — the suite pins the
+   calibrated cost model on purpose, so a cost-model change shows up as a
+   digest change rather than being silently absorbed into baselines. *)
+
+let key_dist_to_json = function
+  | Uniform -> Json.String "uniform"
+  | Zipf theta -> Json.Assoc [ ("zipf", Json.Float theta) ]
+
+let key_dist_of_json = function
+  | Json.String "uniform" -> Uniform
+  | Json.Assoc _ as j when Json.mem "zipf" j -> Zipf (Json.to_float (Json.member "zipf" j))
+  | j ->
+      raise
+        (Json.Type_error ("key_dist must be \"uniform\" or {\"zipf\": theta}, got " ^ Json.type_name j))
+
+let to_json cfg =
+  Json.Assoc
+    [
+      ("ds", Json.String cfg.ds);
+      ("smr", Json.String cfg.smr);
+      ("alloc", Json.String cfg.alloc);
+      ("threads", Json.Int cfg.threads);
+      ("machine", Json.String cfg.topology.Topology.name);
+      ("key_range", Json.Int cfg.key_range);
+      ("key_dist", key_dist_to_json cfg.key_dist);
+      ("insert_pct", Json.Float cfg.insert_pct);
+      ("delete_pct", Json.Float cfg.delete_pct);
+      ("warmup_ns", Json.Int cfg.warmup_ns);
+      ("duration_ns", Json.Int cfg.duration_ns);
+      ("grace_ns", Json.Int cfg.grace_ns);
+      ("seed", Json.Int cfg.seed);
+      ("trials", Json.Int cfg.trials);
+      ("validate", Json.Bool cfg.validate);
+      ("timeline", Json.Bool cfg.timeline);
+      ("timeline_min_free_ns", Json.Int cfg.timeline_min_free_ns);
+      ("af_drain", Json.Int cfg.af_drain);
+      ("token_period", Json.Int cfg.token_period);
+      ("buffer_size", Json.Int cfg.buffer_size);
+      ("debra_check_every", Json.Int cfg.debra_check_every);
+    ]
+
+let of_json ?(base = default) j =
+  let apply cfg (key, v) =
+    match key with
+    | "ds" -> { cfg with ds = Json.to_string v }
+    | "smr" -> { cfg with smr = Json.to_string v }
+    | "alloc" -> { cfg with alloc = Json.to_string v }
+    | "threads" -> { cfg with threads = Json.to_int v }
+    | "machine" -> (
+        let name = Json.to_string v in
+        match Topology.by_name name with
+        | Some t -> { cfg with topology = t }
+        | None -> failwith (Printf.sprintf "unknown machine %S" name))
+    | "key_range" -> { cfg with key_range = Json.to_int v }
+    | "key_dist" -> { cfg with key_dist = key_dist_of_json v }
+    | "insert_pct" -> { cfg with insert_pct = Json.to_float v }
+    | "delete_pct" -> { cfg with delete_pct = Json.to_float v }
+    | "warmup_ns" -> { cfg with warmup_ns = Json.to_int v }
+    | "duration_ns" -> { cfg with duration_ns = Json.to_int v }
+    | "grace_ns" -> { cfg with grace_ns = Json.to_int v }
+    | "seed" -> { cfg with seed = Json.to_int v }
+    | "trials" -> { cfg with trials = Json.to_int v }
+    | "validate" -> { cfg with validate = Json.to_bool v }
+    | "timeline" -> { cfg with timeline = Json.to_bool v }
+    | "timeline_min_free_ns" -> { cfg with timeline_min_free_ns = Json.to_int v }
+    | "af_drain" -> { cfg with af_drain = Json.to_int v }
+    | "token_period" -> { cfg with token_period = Json.to_int v }
+    | "buffer_size" -> { cfg with buffer_size = Json.to_int v }
+    | "debra_check_every" -> { cfg with debra_check_every = Json.to_int v }
+    | other -> failwith (Printf.sprintf "unknown config field %S" other)
+  in
+  match List.fold_left apply base (Json.to_assoc j) with
+  | cfg -> Ok cfg
+  | exception Failure msg -> Error msg
+  | exception Json.Type_error msg -> Error msg

@@ -41,3 +41,17 @@ val default : t
 
 val label : t -> string
 (** One-line description, e.g. ["abtree/debra/jemalloc n=192"]. *)
+
+(** {1 Manifest serialization}
+
+    Used by the simbench regression suite (lib/regress): a config is stored
+    as a set of field overrides applied to {!default}. [alloc_config] and
+    [cost] are not expressible in manifests and keep the base values. *)
+
+val to_json : t -> Json.t
+(** All manifest-expressible fields; the topology appears as its name. *)
+
+val of_json : ?base:t -> Json.t -> (t, string) result
+(** Apply the overrides in a JSON object to [base] (default {!default}).
+    Unknown fields, unknown machine names, and type mismatches are
+    reported as [Error]. *)

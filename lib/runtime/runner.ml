@@ -220,6 +220,7 @@ let run_trial (cfg : Config.t) ~seed =
   in
   {
     Trial.config_label = Config.label cfg;
+    seed;
     throughput;
     ops = agg.Metrics.ops;
     duration_ns;

@@ -4,6 +4,7 @@ open Simcore
 
 type t = {
   config_label : string;
+  seed : int;  (* the Sched seed that produced this trial *)
   throughput : float;  (* operations per virtual second, measured window *)
   ops : int;  (* operations in the measured window *)
   duration_ns : int;
@@ -62,3 +63,106 @@ let summarize f trials =
 
 let throughput_summary = summarize (fun t -> t.throughput)
 let peak_memory_summary = summarize (fun t -> float_of_int t.peak_mapped_bytes)
+
+(* JSON serialization for the regression harness (lib/regress). Schema
+   changes must bump [Regress.Baseline.schema_version]. Timelines are
+   display-only and deliberately not serialized: [of_json] restores them as
+   [None], and the digest consequently ignores them. *)
+
+let hist_to_json h =
+  Json.Assoc
+    [
+      ("max", Json.Int (Histogram.max_value h));
+      ( "buckets",
+        Json.List
+          (List.map (fun (b, c) -> Json.List [ Json.Int b; Json.Int c ]) (Histogram.to_alist h))
+      );
+    ]
+
+let hist_of_json j =
+  let pair = function
+    | Json.List [ b; c ] -> (Json.to_int b, Json.to_int c)
+    | j -> raise (Json.Type_error ("expected [bucket, count], got " ^ Json.type_name j))
+  in
+  Histogram.of_alist
+    ~max_value:(Json.to_int (Json.member "max" j))
+    (List.map pair (Json.to_list (Json.member "buckets" j)))
+
+let to_json t =
+  Json.Assoc
+    [
+      ("config_label", Json.String t.config_label);
+      ("seed", Json.Int t.seed);
+      ("throughput", Json.Float t.throughput);
+      ("ops", Json.Int t.ops);
+      ("duration_ns", Json.Int t.duration_ns);
+      ("peak_mapped_bytes", Json.Int t.peak_mapped_bytes);
+      ("peak_live_bytes", Json.Int t.peak_live_bytes);
+      ("final_size", Json.Int t.final_size);
+      ("freed", Json.Int t.freed);
+      ("retired", Json.Int t.retired);
+      ("allocs", Json.Int t.allocs);
+      ("epochs", Json.Int t.epochs);
+      ("remote_frees", Json.Int t.remote_frees);
+      ("flushes", Json.Int t.flushes);
+      ("end_garbage", Json.Int t.end_garbage);
+      ("pct_free", Json.Float t.pct_free);
+      ("pct_flush", Json.Float t.pct_flush);
+      ("pct_lock", Json.Float t.pct_lock);
+      ("pct_ds", Json.Float t.pct_ds);
+      ( "garbage_by_epoch",
+        Json.List
+          (List.map (fun (e, c) -> Json.List [ Json.Int e; Json.Int c ]) t.garbage_by_epoch) );
+      ("peak_epoch_garbage", Json.Int t.peak_epoch_garbage);
+      ("avg_epoch_garbage", Json.Float t.avg_epoch_garbage);
+      ("free_hist", hist_to_json t.free_hist);
+      ("op_hist", hist_to_json t.op_hist);
+      ("measure_start", Json.Int t.measure_start);
+      ("deadline", Json.Int t.deadline);
+      ("violations", Json.Int t.violations);
+    ]
+
+let of_json j =
+  let int name = Json.to_int (Json.member name j) in
+  let flt name = Json.to_float (Json.member name j) in
+  {
+    config_label = Json.to_string (Json.member "config_label" j);
+    seed = int "seed";
+    throughput = flt "throughput";
+    ops = int "ops";
+    duration_ns = int "duration_ns";
+    peak_mapped_bytes = int "peak_mapped_bytes";
+    peak_live_bytes = int "peak_live_bytes";
+    final_size = int "final_size";
+    freed = int "freed";
+    retired = int "retired";
+    allocs = int "allocs";
+    epochs = int "epochs";
+    remote_frees = int "remote_frees";
+    flushes = int "flushes";
+    end_garbage = int "end_garbage";
+    pct_free = flt "pct_free";
+    pct_flush = flt "pct_flush";
+    pct_lock = flt "pct_lock";
+    pct_ds = flt "pct_ds";
+    garbage_by_epoch =
+      List.map
+        (function
+          | Json.List [ e; c ] -> (Json.to_int e, Json.to_int c)
+          | j -> raise (Json.Type_error ("expected [epoch, count], got " ^ Json.type_name j)))
+        (Json.to_list (Json.member "garbage_by_epoch" j));
+    peak_epoch_garbage = int "peak_epoch_garbage";
+    avg_epoch_garbage = flt "avg_epoch_garbage";
+    free_hist = hist_of_json (Json.member "free_hist" j);
+    op_hist = hist_of_json (Json.member "op_hist" j);
+    timeline_reclaim = None;
+    timeline_free = None;
+    measure_start = int "measure_start";
+    deadline = int "deadline";
+    violations = int "violations";
+  }
+
+(* Content digest of the full serialized record. The Sched contract
+   promises bit-exact determinism for a given (config, seed); equality of
+   digests across runs is how the regression harness enforces it. *)
+let digest t = Digest.to_hex (Digest.string (Json.render ~minify:true (to_json t)))

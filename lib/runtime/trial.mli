@@ -4,6 +4,7 @@ open Simcore
 
 type t = {
   config_label : string;
+  seed : int;  (** the Sched seed that produced this trial *)
   throughput : float;  (** operations per virtual second, measured window *)
   ops : int;
   duration_ns : int;
@@ -46,3 +47,19 @@ type summary = { mean : float; min : float; max : float }
 val summarize : (t -> float) -> t list -> summary
 val throughput_summary : t list -> summary
 val peak_memory_summary : t list -> summary
+
+(** {1 Serialization}
+
+    Canonical JSON for the regression harness. Timelines are display-only
+    and are not serialized; {!of_json} restores them as [None]. *)
+
+val to_json : t -> Json.t
+
+val of_json : Json.t -> t
+(** @raise Json.Type_error on a shape mismatch. *)
+
+val digest : t -> string
+(** Hex digest of the canonical serialization of the full metrics record.
+    Equal configs and seeds must produce equal digests (the simulator's
+    determinism contract); the [simbench check --exact] gate enforces
+    this. *)

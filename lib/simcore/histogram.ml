@@ -68,3 +68,22 @@ let percentile t p =
 
 let iter f t =
   Array.iteri (fun i c -> if c > 0 then f ~lower:(1 lsl i) ~count:c) t.counts
+
+(* Sparse bucket-index form, for serialization (regression baselines). *)
+let to_alist t =
+  let acc = ref [] in
+  Array.iteri (fun i c -> if c > 0 then acc := (i, c) :: !acc) t.counts;
+  List.rev !acc
+
+let of_alist ?(max_value = 0) alist =
+  let t = create () in
+  List.iter
+    (fun (b, c) ->
+      if b < 0 || b >= buckets || c < 0 then invalid_arg "Histogram.of_alist";
+      t.counts.(b) <- t.counts.(b) + c;
+      t.total <- t.total + c)
+    alist;
+  t.max_value <- max_value;
+  t
+
+let equal a b = a.counts = b.counts && a.total = b.total && a.max_value = b.max_value

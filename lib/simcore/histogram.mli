@@ -35,3 +35,13 @@ val percentile : t -> float -> int
 
 val iter : (lower:int -> count:int -> unit) -> t -> unit
 (** Iterate non-empty buckets, with each bucket's lower bound. *)
+
+val to_alist : t -> (int * int) list
+(** Non-empty buckets as [(bucket index, count)], ascending — the sparse
+    form stored in regression baselines. *)
+
+val of_alist : ?max_value:int -> (int * int) list -> t
+(** Rebuild from {!to_alist} output plus the recorded maximum.
+    @raise Invalid_argument on an out-of-range bucket or negative count. *)
+
+val equal : t -> t -> bool

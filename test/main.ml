@@ -22,4 +22,5 @@ let () =
       Test_misc.suite;
       Test_protocol.suite;
       Test_invariants.suite;
+      Test_regress.suite;
     ]
