@@ -23,7 +23,9 @@ bench-smoke:
 
 # Regression harness: run the simbench suite against the golden baselines
 # under regress/baselines/. `regress` applies both gates; the -exact and
-# -perf variants are the split CI jobs.
+# -perf variants are the split CI jobs. All targets honour EPOCHS_JOBS
+# (domain fan-out; results are bit-identical at any value) and write
+# wall-clock self-measurements to BENCH_simbench.json.
 regress:
 	dune exec bin/simbench.exe -- check --out simbench-results.json
 

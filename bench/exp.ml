@@ -5,6 +5,11 @@
 let quick = match Sys.getenv_opt "QUICK" with Some ("1" | "true") -> true | _ -> false
 let full = match Sys.getenv_opt "FULL" with Some ("1" | "true") -> true | _ -> false
 
+(* Trial fan-out width: EPOCHS_JOBS when set, else the recommended domain
+   count. Parallel trials are bit-identical to sequential ones, so figures
+   and shape checks are unaffected. *)
+let jobs = Runtime.Pool.default_jobs ()
+
 let trials = if quick then 1 else if full then 3 else 2
 let duration_ms = if quick then 15 else if full then 40 else 25
 
@@ -60,7 +65,7 @@ let run c =
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
-      let r = Runtime.Runner.run c in
+      let r = Runtime.Runner.run ~jobs c in
       Hashtbl.replace cache key r;
       r
 

@@ -57,6 +57,17 @@ let zipf_arg =
     & opt (some float) None
     & info [ "zipf" ] ~docv:"THETA" ~doc:"Zipf-skew the key distribution with exponent $(docv).")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to fan independent trials out over. Defaults to \\$(b,EPOCHS_JOBS) when set, \
+           else the recommended domain count. Results are bit-identical to a sequential run.")
+
+let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
+
 let config ds smr alloc threads machine keys duration trials seed validate timeline af_drain zipf =
   let topology =
     match Simcore.Topology.by_name machine with
@@ -139,12 +150,12 @@ let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
 
 let run_cmd =
   let run ds smr alloc threads machine keys duration trials seed validate timeline garbage
-      af_drain zipf svg =
+      af_drain zipf svg jobs =
     let cfg =
       config ds smr alloc threads machine keys duration trials seed validate timeline af_drain
         zipf
     in
-    let trials = Runtime.Runner.run cfg in
+    let trials = Runtime.Runner.run ~jobs:(resolve_jobs jobs) cfg in
     List.iter (print_trial ~timeline ~garbage) trials;
     (match trials with t :: _ -> maybe_write_svg t svg | [] -> ());
     if List.length trials > 1 then begin
@@ -159,7 +170,7 @@ let run_cmd =
     Term.(
       const run $ ds_arg $ smr_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
       $ duration_arg $ trials_arg $ seed_arg $ validate_arg $ timeline_arg $ garbage_arg
-      $ drain_arg $ zipf_arg $ svg_arg)
+      $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg)
 
 let comma_list s = String.split_on_char ',' s |> List.map String.trim
 
@@ -170,23 +181,25 @@ let sweep_cmd =
   let threads_list_arg =
     Arg.(value & opt string "12,24,48,96,144,192" & info [ "threads" ] ~docv:"NS" ~doc:"Comma-separated thread counts.")
   in
-  let run ds smrs alloc threads_list machine keys duration trials seed =
+  let run ds smrs alloc threads_list machine keys duration trials seed jobs =
+    let jobs = resolve_jobs jobs in
     let smrs = comma_list smrs in
     let threads = comma_list threads_list |> List.map int_of_string in
     let table = Report.Table.create ("smr \\ n" :: List.map string_of_int threads) in
-    List.iter
-      (fun smr ->
-        let row =
-          List.map
-            (fun n ->
-              let cfg =
-                config ds smr alloc n machine keys duration trials seed false false 1 None
-              in
-              let trials = Runtime.Runner.run cfg in
-              let s = Runtime.Trial.throughput_summary trials in
-              Report.Table.mops s.Runtime.Trial.mean)
-            threads
-        in
+    (* Every (smr, n) cell is independent: fan the whole grid out at once
+       (cell-level beats trial-level here — the grid is much wider than
+       trials-per-cell) and let Pool reassemble it in grid order. *)
+    let cells =
+      Runtime.Pool.map ~jobs
+        (fun (smr, n) ->
+          let cfg = config ds smr alloc n machine keys duration trials seed false false 1 None in
+          let s = Runtime.Trial.throughput_summary (Runtime.Runner.run ~jobs:1 cfg) in
+          Report.Table.mops s.Runtime.Trial.mean)
+        (List.concat_map (fun smr -> List.map (fun n -> (smr, n)) threads) smrs)
+    in
+    List.iteri
+      (fun i smr ->
+        let row = List.filteri (fun j _ -> j / List.length threads = i) cells in
         Report.Table.add_row table (smr :: row))
       smrs;
     print_string (Report.Table.render table)
@@ -194,7 +207,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Throughput sweep over thread counts and reclaimers.")
     Term.(
       const run $ ds_arg $ smrs_arg $ alloc_arg $ threads_list_arg $ machine_arg $ keys_arg
-      $ duration_arg $ trials_arg $ seed_arg)
+      $ duration_arg $ trials_arg $ seed_arg $ jobs_arg)
 
 let compare_cmd =
   let smr_a = Arg.(value & pos 0 string "debra" & info [] ~docv:"SMR_A") in

@@ -18,6 +18,7 @@ open Cmdliner
 let default_suite_path = "regress/suite.json"
 let default_baselines_dir = "regress/baselines"
 let default_out = "simbench-results.json"
+let default_bench_out = "BENCH_simbench.json"
 
 let suite_arg =
   Arg.(
@@ -44,7 +45,61 @@ let seeds_arg =
     & info [ "seeds" ] ~docv:"K"
         ~doc:"Seeds per entry used to derive perf tolerances when blessing.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Domains to fan entries out over. Defaults to \\$(b,EPOCHS_JOBS) when set, else the \
+           recommended domain count. Parallelism is bit-identical to sequential execution: it \
+           changes nothing but wall-clock time.")
+
+let bench_out_arg =
+  Arg.(
+    value
+    & opt string default_bench_out
+    & info [ "bench-out" ] ~docv:"FILE"
+        ~doc:"Where to write wall-clock self-measurements (per-entry and total wall_ns).")
+
+let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
+
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+(* Wall-clock self-measurement. Virtual-time results are deterministic;
+   wall_ns is the one deliberately non-deterministic output, which is why
+   it goes to a separate file (--bench-out) and never into the canonical
+   results JSON the exact gate compares. *)
+let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
+
+let timed f =
+  let t0 = now_ns () in
+  let r = f () in
+  (r, Int64.to_int (Int64.sub (now_ns ()) t0))
+
+let bench_json ~suite_label ~jobs ~total_wall_ns timings =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int 1);
+      ("suite", Json.String suite_label);
+      ("jobs", Json.Int jobs);
+      ("total_wall_ns", Json.Int total_wall_ns);
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (id, wall_ns) ->
+               Json.Assoc [ ("id", Json.String id); ("wall_ns", Json.Int wall_ns) ])
+             timings) );
+    ]
+
+let write_bench ~bench_out ~suite_label ~jobs ~total_wall_ns timings =
+  Out_channel.with_open_bin bench_out (fun oc ->
+      Out_channel.output_string oc
+        (Json.render (bench_json ~suite_label ~jobs ~total_wall_ns timings)));
+  Printf.printf "wall-clock measurements written to %s (total %.1f ms on %d domain%s)\n" bench_out
+    (float_of_int total_wall_ns /. 1e6)
+    jobs
+    (if jobs = 1 then "" else "s")
 
 (* Load the suite of record: an explicit or default manifest file when
    present, the builtin suite otherwise. Returns the entries and a label
@@ -103,35 +158,51 @@ let summary_table results =
     results;
   Report.Table.render table
 
-let run_suite entries =
-  List.map
-    (fun (e : Regress.Suite.entry) ->
-      Printf.eprintf "simbench: running %s (%s)\n%!" e.Regress.Suite.id
-        (Runtime.Config.label e.Regress.Suite.config);
-      run_entry e)
-    entries
+(* Run the suite's entries across [jobs] domains. Pool.map reassembles in
+   submission order, so results (and every file derived from them) are
+   byte-identical whatever the parallelism; only the wall_ns timings vary. *)
+let run_suite ~jobs entries =
+  let (results, timings), total_wall_ns =
+    timed (fun () ->
+        let timed_results =
+          Runtime.Pool.map ~jobs
+            (fun (e : Regress.Suite.entry) ->
+              Printf.eprintf "simbench: running %s (%s)\n%!" e.Regress.Suite.id
+                (Runtime.Config.label e.Regress.Suite.config);
+              timed (fun () -> run_entry e))
+            entries
+        in
+        ( List.map fst timed_results,
+          List.map2
+            (fun (e : Regress.Suite.entry) (_, wall_ns) -> (e.Regress.Suite.id, wall_ns))
+            entries timed_results ))
+  in
+  (results, timings, total_wall_ns)
 
 let run_cmd =
-  let run suite out =
+  let run suite out bench_out jobs =
+    let jobs = resolve_jobs jobs in
     let entries, suite_label = load_suite suite in
-    let results = run_suite entries in
+    let results, timings, total_wall_ns = run_suite ~jobs entries in
     print_string (summary_table results);
-    write_results ~out ~suite_label results
+    write_results ~out ~suite_label results;
+    write_bench ~bench_out ~suite_label ~jobs ~total_wall_ns timings
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the suite and write its results as canonical JSON.")
-    Term.(const run $ suite_arg $ out_arg)
+    Term.(const run $ suite_arg $ out_arg $ bench_out_arg $ jobs_arg)
 
 let check_cmd =
   let exact_flag = Arg.(value & flag & info [ "exact" ] ~doc:"Digest gate: bit-exact determinism.") in
   let perf_flag =
     Arg.(value & flag & info [ "perf" ] ~doc:"Tolerance gate: throughput and peak garbage.")
   in
-  let run suite baselines out exact perf =
+  let run suite baselines out bench_out jobs exact perf =
     (* No mode flag means both gates. *)
     let exact, perf = if exact || perf then (exact, perf) else (true, true) in
+    let jobs = resolve_jobs jobs in
     let entries, suite_label = load_suite suite in
-    let results = run_suite entries in
+    let results, timings, total_wall_ns = run_suite ~jobs entries in
     let findings =
       List.concat_map
         (fun (_, (res : Regress.Baseline.result)) ->
@@ -144,6 +215,7 @@ let check_cmd =
     in
     print_endline (Regress.Gate.render findings);
     write_results ~out ~suite_label results;
+    write_bench ~bench_out ~suite_label ~jobs ~total_wall_ns timings;
     if Regress.Gate.all_ok findings then
       Printf.printf "simbench check: %d findings, all ok\n" (List.length findings)
     else begin
@@ -154,22 +226,36 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Run the suite and compare against the golden baselines.")
-    Term.(const run $ suite_arg $ baselines_arg $ out_arg $ exact_flag $ perf_flag)
+    Term.(
+      const run $ suite_arg $ baselines_arg $ out_arg $ bench_out_arg $ jobs_arg $ exact_flag
+      $ perf_flag)
 
 let bless_cmd =
-  let run suite baselines seeds =
+  let run suite baselines seeds jobs =
     if seeds < 1 then die "simbench: --seeds must be at least 1";
+    let jobs = resolve_jobs jobs in
     let entries, _ = load_suite suite in
+    (* Fan the full (entry, seed) cross product out at once: the variance
+       estimation is seeds x entries independent trials, the widest
+       parallelism this command has to offer. *)
+    let tasks =
+      List.concat_map
+        (fun (e : Regress.Suite.entry) ->
+          List.init seeds (fun i -> (e, e.Regress.Suite.config.Runtime.Config.seed + i)))
+        entries
+    in
+    let runs =
+      Runtime.Pool.map ~jobs
+        (fun ((e : Regress.Suite.entry), seed) ->
+          Printf.eprintf "simbench: blessing %s seed %d\n%!" e.Regress.Suite.id seed;
+          Regress.Baseline.of_trial ~id:e.Regress.Suite.id
+            (Runtime.Runner.run_trial e.Regress.Suite.config ~seed))
+        tasks
+    in
     List.iter
       (fun (e : Regress.Suite.entry) ->
-        let cfg = e.Regress.Suite.config in
         let id = e.Regress.Suite.id in
-        Printf.eprintf "simbench: blessing %s over %d seed(s)\n%!" id seeds;
-        let runs =
-          List.init seeds (fun i ->
-              let trial = Runtime.Runner.run_trial cfg ~seed:(cfg.Runtime.Config.seed + i) in
-              Regress.Baseline.of_trial ~id trial)
-        in
+        let runs = List.filter (fun r -> r.Regress.Baseline.id = id) runs in
         let tol = Regress.Baseline.derive_tolerance runs in
         let blessed = Regress.Baseline.with_tolerance tol (List.hd runs) in
         Regress.Baseline.save ~dir:baselines blessed;
@@ -183,7 +269,7 @@ let bless_cmd =
   in
   Cmd.v
     (Cmd.info "bless" ~doc:"Regenerate the golden baselines (with multi-seed tolerances).")
-    Term.(const run $ suite_arg $ baselines_arg $ seeds_arg)
+    Term.(const run $ suite_arg $ baselines_arg $ seeds_arg $ jobs_arg)
 
 let list_cmd =
   let run suite =

@@ -10,7 +10,6 @@ type shared_state = {
   mutable arrived : int;  (* threads that finished prefilling *)
   mutable measure_start : int;
   mutable deadline : int;
-  mutable hard_deadline : int;
 }
 
 type garbage_trace = { by_epoch : (int, int) Hashtbl.t }
@@ -18,30 +17,19 @@ type garbage_trace = { by_epoch : (int, int) Hashtbl.t }
 let note_garbage g ~epoch ~count =
   Hashtbl.replace g.by_epoch epoch (count + Option.value ~default:0 (Hashtbl.find_opt g.by_epoch epoch))
 
-(* Key sampler for the configured distribution. Zipf keys are drawn by
-   binary search over the precomputed cumulative weights (rank r has weight
-   1/(r+1)^theta), with ranks scattered over the key space by a fixed
-   multiplicative hash so hot keys are not neighbours in the structure. *)
+(* Key sampler for the configured distribution. Zipf ranks are drawn in
+   O(1) from a cached alias table (rank r has weight 1/(r+1)^theta, one
+   table per (key_range, theta) shared across trials — see Sampler), with
+   ranks scattered over the key space by a fixed multiplicative hash so hot
+   keys are not neighbours in the structure. *)
 let make_sampler (cfg : Config.t) =
   match cfg.Config.key_dist with
   | Config.Uniform -> fun (th : Sched.thread) -> Rng.int_below th.Sched.rng cfg.Config.key_range
   | Config.Zipf theta ->
       let n = cfg.Config.key_range in
-      let cum = Array.make n 0. in
-      let total = ref 0. in
-      for r = 0 to n - 1 do
-        total := !total +. (1. /. Float.pow (float_of_int (r + 1)) theta);
-        cum.(r) <- !total
-      done;
+      let table = Sampler.get ~key_range:n ~theta in
       let scatter r = r * 2654435761 land max_int mod n in
-      fun (th : Sched.thread) ->
-        let x = Rng.float th.Sched.rng *. !total in
-        let lo = ref 0 and hi = ref (n - 1) in
-        while !lo < !hi do
-          let mid = (!lo + !hi) / 2 in
-          if cum.(mid) < x then lo := mid + 1 else hi := mid
-        done;
-        scatter !lo
+      fun (th : Sched.thread) -> scatter (Sampler.sample table th.Sched.rng)
 
 (* One operation of the measured workload. *)
 let do_op (cfg : Config.t) (smr : Smr.Smr_intf.t) (ds : Ds.Ds_intf.t) safety per_node_scaled
@@ -146,9 +134,7 @@ let run_trial (cfg : Config.t) ~seed =
           | Some tl -> Timeline.record_dot tl ~tid ~time ~value:epoch
           | None -> ()))
     (Sched.threads sched);
-  let state =
-    { arrived = 0; measure_start = max_int; deadline = max_int; hard_deadline = max_int }
-  in
+  let state = { arrived = 0; measure_start = max_int; deadline = max_int } in
   (* Prefill quota: [key_range / 2] successful inserts, split over threads,
      so the structure starts a trial at its steady-state size. *)
   let target = cfg.Config.key_range / 2 in
@@ -175,7 +161,7 @@ let run_trial (cfg : Config.t) ~seed =
     if state.arrived = n then begin
       state.measure_start <- Sched.now th + cfg.Config.warmup_ns;
       state.deadline <- state.measure_start + cfg.Config.duration_ns;
-      state.hard_deadline <- state.deadline + cfg.Config.grace_ns
+      Sched.set_hard_deadline sched (state.deadline + cfg.Config.grace_ns)
     end;
     (* Phase 2: the measured workload. *)
     while Sched.now th < state.deadline do
@@ -191,7 +177,7 @@ let run_trial (cfg : Config.t) ~seed =
     | None -> ()
   in
   Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
-  Sched.run_until sched ~hard_deadline:(fun () -> state.hard_deadline);
+  Sched.run_until sched;
   (* Collect the measured window: counters after minus the snapshot. *)
   let agg = Metrics.create () in
   Array.iter
@@ -250,6 +236,9 @@ let run_trial (cfg : Config.t) ~seed =
     violations = (match safety with Some s -> Smr.Safety.violation_count s | None -> 0);
   }
 
-(* Run [cfg.trials] trials with consecutive seeds. *)
-let run (cfg : Config.t) =
-  List.init cfg.Config.trials (fun i -> run_trial cfg ~seed:(cfg.Config.seed + i))
+(* Run [cfg.trials] trials with consecutive seeds, fanned out across
+   domains (Pool reassembles results in seed order, so the list is
+   bit-identical to a sequential run). *)
+let run ?jobs (cfg : Config.t) =
+  List.init cfg.Config.trials (fun i -> cfg.Config.seed + i)
+  |> Pool.map ?jobs (fun seed -> run_trial cfg ~seed)

@@ -8,5 +8,8 @@
 
 val run_trial : Config.t -> seed:int -> Trial.t
 
-val run : Config.t -> Trial.t list
-(** [run cfg] performs [cfg.trials] trials with consecutive seeds. *)
+val run : ?jobs:int -> Config.t -> Trial.t list
+(** [run cfg] performs [cfg.trials] trials with consecutive seeds, fanned
+    out over up to [jobs] domains (see {!Pool.map} for how [jobs]
+    defaults). Results are in seed order and bit-identical to a sequential
+    run — parallelism only changes wall-clock time. *)

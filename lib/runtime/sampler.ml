@@ -1,0 +1,126 @@
+(* Zipf key sampling in O(1) per draw via Walker's alias method.
+
+   The seed implementation binary-searched a cumulative-weight array per
+   sample (O(log n)) and rebuilt that array for every trial. Alias tables
+   cost the same O(n) build but answer each draw with one uniform integer,
+   one uniform float and at most two array reads — and because a table
+   depends only on (key_range, theta), it is built once per distinct
+   distribution and shared by every trial of a sweep, including trials
+   running concurrently on other domains (the table is immutable after
+   construction; the cache itself is mutex-guarded). *)
+
+open Simcore
+
+type t = { n : int; prob : float array; alias : int array }
+
+(* Count of alias-table constructions, for the build-once regression test. *)
+let builds = Atomic.make 0
+
+let build_count () = Atomic.get builds
+
+let zipf_weights ~key_range ~theta =
+  Array.init key_range (fun r -> 1. /. Float.pow (float_of_int (r + 1)) theta)
+
+(* Vose's stable two-worklist construction: O(n), deterministic. *)
+let build ~key_range ~theta =
+  if key_range <= 0 then invalid_arg "Sampler.build: key_range must be positive";
+  Atomic.incr builds;
+  let n = key_range in
+  let w = zipf_weights ~key_range ~theta in
+  let total = Array.fold_left ( +. ) 0. w in
+  let scaled = Array.map (fun x -> x *. float_of_int n /. total) w in
+  let prob = Array.make n 1. in
+  let alias = Array.init n (fun i -> i) in
+  let small = Array.make n 0 and large = Array.make n 0 in
+  let ns = ref 0 and nl = ref 0 in
+  Array.iteri
+    (fun i p ->
+      if p < 1. then begin
+        small.(!ns) <- i;
+        incr ns
+      end
+      else begin
+        large.(!nl) <- i;
+        incr nl
+      end)
+    scaled;
+  while !ns > 0 && !nl > 0 do
+    decr ns;
+    decr nl;
+    let s = small.(!ns) and l = large.(!nl) in
+    prob.(s) <- scaled.(s);
+    alias.(s) <- l;
+    scaled.(l) <- scaled.(l) -. (1. -. scaled.(s));
+    if scaled.(l) < 1. then begin
+      small.(!ns) <- l;
+      incr ns
+    end
+    else begin
+      large.(!nl) <- l;
+      incr nl
+    end
+  done;
+  (* Numerical leftovers on either worklist sit at probability 1. *)
+  while !nl > 0 do
+    decr nl;
+    prob.(large.(!nl)) <- 1.
+  done;
+  while !ns > 0 do
+    decr ns;
+    prob.(small.(!ns)) <- 1.
+  done;
+  { n; prob; alias }
+
+(* One table per distinct (key_range, theta), shared across trials and
+   domains. The mutex only guards the lookup table; a built [t] is
+   immutable, so concurrent samplers need no further synchronization. *)
+let cache : (int * float, t) Hashtbl.t = Hashtbl.create 8
+let cache_mutex = Mutex.create ()
+
+let get ~key_range ~theta =
+  Mutex.lock cache_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock cache_mutex)
+    (fun () ->
+      let key = (key_range, theta) in
+      match Hashtbl.find_opt cache key with
+      | Some t -> t
+      | None ->
+          let t = build ~key_range ~theta in
+          Hashtbl.add cache key t;
+          t)
+
+let sample t rng =
+  let i = Rng.int_below rng t.n in
+  if Rng.float rng < t.prob.(i) then i else t.alias.(i)
+
+(* The probability of each rank implied by the table: column i lands on i
+   with prob.(i) and on alias.(i) otherwise. Tests compare this against the
+   exact Zipf pmf to validate the construction analytically. *)
+let pmf t =
+  let p = Array.make t.n 0. in
+  let per_col = 1. /. float_of_int t.n in
+  for i = 0 to t.n - 1 do
+    p.(i) <- p.(i) +. (per_col *. t.prob.(i));
+    p.(t.alias.(i)) <- p.(t.alias.(i)) +. (per_col *. (1. -. t.prob.(i)))
+  done;
+  p
+
+(* The seed's O(log n) cumulative-weight sampler, kept as the reference
+   implementation for the distribution-equivalence tests. *)
+let reference ~key_range ~theta =
+  let n = key_range in
+  let cum = Array.make n 0. in
+  let total = ref 0. in
+  for r = 0 to n - 1 do
+    total := !total +. (1. /. Float.pow (float_of_int (r + 1)) theta);
+    cum.(r) <- !total
+  done;
+  fun rng ->
+    let x = Rng.float rng *. !total in
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if cum.(mid) < x then lo := mid + 1 else hi := mid
+    done;
+    !lo

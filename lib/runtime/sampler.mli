@@ -1,0 +1,38 @@
+(** O(1) Zipf rank sampling (Walker's alias method) with a cross-trial
+    table cache.
+
+    Samplers work in {e rank} space: rank 0 is the hottest key. Callers
+    scatter ranks over the key space themselves (the runner uses a fixed
+    multiplicative hash so hot keys are not neighbours in the structure).
+
+    Tables are immutable once built and cached per [(key_range, theta)], so
+    a multi-trial sweep builds each distribution exactly once even when
+    trials run concurrently on several domains. *)
+
+open Simcore
+
+type t
+
+val get : key_range:int -> theta:float -> t
+(** The cached alias table for ranks [0 .. key_range-1] with weight
+    [1/(r+1)^theta], building it on first use. Thread- and domain-safe. *)
+
+val build : key_range:int -> theta:float -> t
+(** Build a table unconditionally, bypassing the cache (tests). *)
+
+val sample : t -> Rng.t -> int
+(** Draw a rank in O(1): one uniform integer, one uniform float, at most
+    two array reads. *)
+
+val pmf : t -> float array
+(** The per-rank probability implied by the table, for analytic validation
+    against the exact Zipf pmf. *)
+
+val build_count : unit -> int
+(** Total alias tables ever built (cache misses + explicit {!build} calls);
+    the build-once-per-distribution regression test watches this. *)
+
+val reference : key_range:int -> theta:float -> Rng.t -> int
+(** The seed's O(log n) cumulative-weight binary-search sampler, kept as
+    the reference distribution for equivalence tests. Partial application
+    [reference ~key_range ~theta] performs the O(n) precomputation. *)

@@ -81,3 +81,8 @@ let pop t =
   end
 
 let peek_key t = if t.len = 0 then None else Some t.keys.(0)
+
+(* The scheduler's event-loop fast path: pop the minimum element only when
+   its key is within [bound], in one call instead of a [peek_key] followed
+   by a [pop]. *)
+let pop_le t ~bound = if t.len > 0 && t.keys.(0) <= bound then pop t else None

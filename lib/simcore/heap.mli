@@ -18,3 +18,9 @@ val pop : 'a t -> 'a option
 
 val peek_key : 'a t -> int option
 (** The minimum key without removing it. *)
+
+val pop_le : 'a t -> bound:int -> 'a option
+(** [pop_le h ~bound] removes and returns the minimum element if its key is
+    [<= bound], in a single heap access — the scheduler's event-loop fast
+    path. Returns [None] when the heap is empty or the minimum is beyond
+    [bound]. *)

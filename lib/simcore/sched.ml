@@ -30,7 +30,13 @@ let no_hooks () =
     on_epoch_garbage = (fun ~epoch:_ ~count:_ -> ());
   }
 
-type thread = {
+(* Event-heap payload. A thread parks its pending effect continuation in
+   its own [pending] cell and is enqueued as its pre-allocated [Resume]
+   task, so the checkpoint -> Heap.push cycle of the hot loop allocates
+   nothing; one-off thunks (thread entry bodies) use [Run]. *)
+type task = Run of (unit -> unit) | Resume of thread
+
+and thread = {
   tid : int;
   socket : int;
   core : int;
@@ -44,17 +50,21 @@ type thread = {
   mutable in_flush : bool;  (* inside a cache flush *)
   mutable atomic_depth : int;  (* > 0 suppresses checkpoints (see [atomically]) *)
   mutable next_preempt : int;  (* next involuntary context switch (oversubscription) *)
-  mutable suspended : (unit -> unit) option;  (* resume thunk while blocked *)
+  mutable pending : (unit, unit) Effect.Deep.continuation option;
+      (* parked continuation: the thread is either enqueued or suspended *)
+  mutable suspended : bool;  (* blocked on [suspend], waiting for [ready] *)
+  mutable resume_task : task;  (* this thread's [Resume], allocated once *)
 }
 
 and t = {
-  heap : (unit -> unit) Heap.t;
+  heap : task Heap.t;
   mutable seq : int;
   cost : Cost_model.t;
   topology : Topology.t;
   n_threads : int;
   mutable threads : thread array;
   mutable stopped : bool;  (* set by [stop]: drains without resuming *)
+  mutable hard_deadline : int;  (* [run_until] cutoff, virtual ns (max_int = none) *)
   oversub : float;  (* software threads per logical CPU; > 1 = oversubscribed *)
   quantum : int;  (* scheduling timeslice under oversubscription, virtual ns *)
 }
@@ -68,37 +78,44 @@ let create ?(cost = Cost_model.default) ~topology ~n_threads ~seed () =
   if n_threads <= 0 then invalid_arg "Sched.create: n_threads must be positive";
   let sched =
     {
-      heap = Heap.create ~dummy:(fun () -> ());
+      heap = Heap.create ~dummy:(Run ignore);
       seq = 0;
       cost;
       topology;
       n_threads;
       threads = [||];
       stopped = false;
+      hard_deadline = max_int;
       oversub = Topology.oversubscription topology ~n:n_threads;
       quantum = quantum_ns;
     }
   in
   let root_rng = Rng.create seed in
   let mk tid =
-    {
-      tid;
-      socket = Topology.socket_of_thread topology tid;
-      core = Topology.core_of_thread topology tid;
-      cpu_factor =
-        (if Topology.shares_core topology ~n:n_threads tid then cost.Cost_model.smt_factor
-         else 1.0);
-      rng = Rng.split root_rng;
-      metrics = Metrics.create ();
-      sched;
-      hooks = no_hooks ();
-      clock = 0;
-      in_free = false;
-      in_flush = false;
-      atomic_depth = 0;
-      next_preempt = quantum_ns + (tid * quantum_ns / n_threads);
-      suspended = None;
-    }
+    let th =
+      {
+        tid;
+        socket = Topology.socket_of_thread topology tid;
+        core = Topology.core_of_thread topology tid;
+        cpu_factor =
+          (if Topology.shares_core topology ~n:n_threads tid then cost.Cost_model.smt_factor
+           else 1.0);
+        rng = Rng.split root_rng;
+        metrics = Metrics.create ();
+        sched;
+        hooks = no_hooks ();
+        clock = 0;
+        in_free = false;
+        in_flush = false;
+        atomic_depth = 0;
+        next_preempt = quantum_ns + (tid * quantum_ns / n_threads);
+        pending = None;
+        suspended = false;
+        resume_task = Run ignore;
+      }
+    in
+    th.resume_task <- Resume th;
+    th
   in
   sched.threads <- Array.init n_threads mk;
   sched
@@ -164,11 +181,9 @@ let atomically th f =
 let suspend th = Effect.perform (Suspend th)
 
 let ready th =
-  match th.suspended with
-  | None -> invalid_arg "Sched.ready: thread is not suspended"
-  | Some k ->
-      th.suspended <- None;
-      enqueue th.sched ~key:th.clock k
+  if not th.suspended then invalid_arg "Sched.ready: thread is not suspended";
+  th.suspended <- false;
+  enqueue th.sched ~key:th.clock th.resume_task
 
 let spawn sched th body =
   let handled () =
@@ -183,18 +198,31 @@ let spawn sched th body =
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
                     if th.sched.stopped then ()
-                    else
-                      enqueue th.sched ~key:th.clock (fun () ->
-                          Effect.Deep.continue k ()))
+                    else begin
+                      th.pending <- Some k;
+                      enqueue th.sched ~key:th.clock th.resume_task
+                    end)
             | Suspend th ->
                 Some
                   (fun (k : (a, unit) Effect.Deep.continuation) ->
                     if th.sched.stopped then ()
-                    else th.suspended <- Some (fun () -> Effect.Deep.continue k ()))
+                    else begin
+                      th.pending <- Some k;
+                      th.suspended <- true
+                    end)
             | _ -> None);
       }
   in
-  enqueue sched ~key:th.clock handled
+  enqueue sched ~key:th.clock (Run handled)
+
+let exec = function
+  | Run f -> f ()
+  | Resume th -> (
+      match th.pending with
+      | Some k ->
+          th.pending <- None;
+          Effect.Deep.continue k ()
+      | None -> assert false)
 
 (* Run until no runnable thread remains. Threads still suspended on a lock
    when the heap drains are abandoned (their continuations are dropped),
@@ -203,24 +231,27 @@ let run sched =
   let rec loop () =
     match Heap.pop sched.heap with
     | None -> ()
-    | Some f ->
-        f ();
+    | Some t ->
+        exec t;
         loop ()
   in
   loop ()
 
-(* Run until no runnable thread remains or virtual time would pass
-   [hard_deadline]: at that point remaining continuations are abandoned,
-   modelling the end of a wall-clock-limited trial even if some thread is
-   stuck in an enormous batch free. *)
-let run_until sched ~hard_deadline =
+let set_hard_deadline sched ns = sched.hard_deadline <- ns
+
+(* Run until no runnable thread remains or virtual time would pass the hard
+   deadline: at that point remaining continuations are abandoned, modelling
+   the end of a wall-clock-limited trial even if some thread is stuck in an
+   enormous batch free. The deadline is a plain field read per event (set
+   mid-run via [set_hard_deadline]) and the heap is touched once per event
+   ([pop_le]), keeping the dispatch loop allocation- and indirection-free. *)
+let run_until sched =
   let rec loop () =
-    match Heap.peek_key sched.heap with
-    | None -> ()
-    | Some k when k > hard_deadline () -> sched.stopped <- true
-    | Some _ ->
-        (match Heap.pop sched.heap with None -> () | Some f -> f ());
+    match Heap.pop_le sched.heap ~bound:sched.hard_deadline with
+    | Some t ->
+        exec t;
         loop ()
+    | None -> if not (Heap.is_empty sched.heap) then sched.stopped <- true
   in
   loop ()
 

@@ -24,7 +24,11 @@ type hooks = {
 
 val no_hooks : unit -> hooks
 
-type thread = {
+(** Event-heap payload: a one-off thunk or a thread's reusable resume cell
+    (the hot checkpoint cycle enqueues the latter, allocating nothing). *)
+type task
+
+and thread = {
   tid : int;
   socket : int;  (** socket under the paper's pinning policy *)
   core : int;
@@ -39,7 +43,10 @@ type thread = {
   mutable atomic_depth : int;  (** > 0 suppresses checkpoints *)
   mutable next_preempt : int;
       (** next involuntary context switch under oversubscription *)
-  mutable suspended : (unit -> unit) option;
+  mutable pending : (unit, unit) Effect.Deep.continuation option;
+      (** parked continuation while enqueued or suspended *)
+  mutable suspended : bool;  (** blocked on {!suspend}, waiting for {!ready} *)
+  mutable resume_task : task;  (** this thread's resume cell, allocated once *)
 }
 
 and t
@@ -87,8 +94,14 @@ val spawn : t -> thread -> (thread -> unit) -> unit
 val run : t -> unit
 (** Run until no runnable thread remains. *)
 
-val run_until : t -> hard_deadline:(unit -> int) -> unit
+val set_hard_deadline : t -> int -> unit
+(** Set the {!run_until} cutoff (virtual ns). May be called mid-run, e.g.
+    once the last thread finishes prefilling and the measured window — and
+    therefore the cutoff — becomes known. Defaults to [max_int] (no cutoff). *)
+
+val run_until : t -> unit
 (** As {!run}, but abandon all remaining work once virtual time would pass
-    [hard_deadline ()] — the end of a wall-clock-limited trial. *)
+    the hard deadline set via {!set_hard_deadline} — the end of a
+    wall-clock-limited trial. *)
 
 val stop : t -> unit

@@ -16,6 +16,8 @@ let () =
       Test_free_policy.suite;
       Test_smr.suite;
       Test_runtime.suite;
+      Test_pool.suite;
+      Test_sampler.suite;
       Test_timeline.suite;
       Test_report.suite;
       Test_parallel.suite;

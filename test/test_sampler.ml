@@ -1,0 +1,164 @@
+(* The alias-method Zipf sampler: analytic correctness of the table,
+   distribution equivalence with the seed's binary-search sampler
+   (chi-squared on fixed seeds), and the build-once-per-distribution cache
+   regression. *)
+
+open Simcore
+
+let exact_pmf ~key_range ~theta =
+  let w = Array.init key_range (fun r -> 1. /. Float.pow (float_of_int (r + 1)) theta) in
+  let total = Array.fold_left ( +. ) 0. w in
+  Array.map (fun x -> x /. total) w
+
+let test_table_pmf_exact () =
+  (* The alias table must encode the Zipf pmf exactly (up to float
+     rounding), independent of any sampling noise. *)
+  List.iter
+    (fun (key_range, theta) ->
+      let table = Runtime.Sampler.build ~key_range ~theta in
+      let got = Runtime.Sampler.pmf table in
+      let want = exact_pmf ~key_range ~theta in
+      Array.iteri
+        (fun r p ->
+          if Float.abs (p -. want.(r)) > 1e-9 then
+            Alcotest.failf "n=%d theta=%.2f rank %d: table pmf %.12f, exact %.12f" key_range
+              theta r p want.(r))
+        got)
+    [ (1, 0.99); (2, 0.5); (128, 0.99); (1000, 0.75); (4096, 1.2) ]
+
+let test_sample_in_range () =
+  let n = 97 in
+  let table = Runtime.Sampler.build ~key_range:n ~theta:0.99 in
+  let rng = Rng.create 7 in
+  for _ = 1 to 10_000 do
+    let r = Runtime.Sampler.sample table rng in
+    if r < 0 || r >= n then Alcotest.failf "rank %d out of [0, %d)" r n
+  done
+
+(* Pearson chi-squared of observed counts against expected probabilities. *)
+let chi_squared counts probs draws =
+  let stat = ref 0. in
+  Array.iteri
+    (fun r c ->
+      let expected = probs.(r) *. float_of_int draws in
+      if expected > 0. then
+        stat := !stat +. (((float_of_int c -. expected) ** 2.) /. expected))
+    counts;
+  !stat
+
+let draw_counts ~n ~draws sample rng =
+  let counts = Array.make n 0 in
+  for _ = 1 to draws do
+    let r = sample rng in
+    counts.(r) <- counts.(r) + 1
+  done;
+  counts
+
+let test_chi_squared_vs_reference () =
+  (* Both samplers, fixed seeds, 100k draws over 128 ranks: each must fit
+     the exact pmf (df = 127; 400 is far beyond the 99.99th percentile but
+     catches any structural bias), and they must fit each other. *)
+  let n = 128 and theta = 0.99 and draws = 100_000 in
+  let probs = exact_pmf ~key_range:n ~theta in
+  let alias_table = Runtime.Sampler.build ~key_range:n ~theta in
+  let alias_counts =
+    draw_counts ~n ~draws (Runtime.Sampler.sample alias_table) (Rng.create 11)
+  in
+  let ref_counts =
+    draw_counts ~n ~draws (Runtime.Sampler.reference ~key_range:n ~theta) (Rng.create 13)
+  in
+  let alias_stat = chi_squared alias_counts probs draws in
+  let ref_stat = chi_squared ref_counts probs draws in
+  if alias_stat > 400. then Alcotest.failf "alias sampler chi2 %.1f > 400 (df=127)" alias_stat;
+  if ref_stat > 400. then Alcotest.failf "reference sampler chi2 %.1f > 400 (df=127)" ref_stat;
+  (* Two-sample chi-squared between the samplers themselves. *)
+  let two_sample = ref 0. in
+  Array.iteri
+    (fun r a ->
+      let b = ref_counts.(r) in
+      if a + b > 0 then
+        two_sample := !two_sample +. (float_of_int ((a - b) * (a - b)) /. float_of_int (a + b)))
+    alias_counts;
+  if !two_sample > 400. then
+    Alcotest.failf "alias vs binary-search two-sample chi2 %.1f > 400" !two_sample
+
+let test_hot_ranks_dominate () =
+  (* Sanity on skew: under theta=0.99 rank 0 must be sampled roughly
+     key_range/2 times more often than the coldest ranks. *)
+  let n = 64 and draws = 50_000 in
+  let table = Runtime.Sampler.build ~key_range:n ~theta:0.99 in
+  let counts = draw_counts ~n ~draws (Runtime.Sampler.sample table) (Rng.create 5) in
+  Alcotest.(check bool)
+    "rank 0 at least 10x rank 63" true
+    (counts.(0) > 10 * max 1 counts.(n - 1))
+
+let test_build_once_per_distribution () =
+  (* The cache must build one table per distinct (key_range, theta) no
+     matter how many trials ask for it. Distinctive parameters keep this
+     independent of whatever other tests have already cached. *)
+  let b0 = Runtime.Sampler.build_count () in
+  let t1 = Runtime.Sampler.get ~key_range:773 ~theta:0.737 in
+  let t2 = Runtime.Sampler.get ~key_range:773 ~theta:0.737 in
+  Alcotest.(check bool) "same table returned" true (t1 == t2);
+  Alcotest.(check int) "one build for two gets" (b0 + 1) (Runtime.Sampler.build_count ());
+  let _ = Runtime.Sampler.get ~key_range:773 ~theta:0.738 in
+  Alcotest.(check int) "new theta builds anew" (b0 + 2) (Runtime.Sampler.build_count ())
+
+let test_build_once_across_trials () =
+  (* The original defect: make_sampler rebuilt the Zipf table on every
+     trial of a multi-trial run. A 3-trial Zipf run must build exactly one
+     table (zero if an earlier run already cached the distribution). *)
+  let cfg =
+    {
+      Runtime.Config.default with
+      Runtime.Config.ds = "skiplist";
+      smr = "debra";
+      threads = 4;
+      key_range = 512;
+      key_dist = Runtime.Config.Zipf 0.813;
+      warmup_ns = 100_000;
+      duration_ns = 1_000_000;
+      grace_ns = 1_000_000;
+      trials = 3;
+    }
+  in
+  let b0 = Runtime.Sampler.build_count () in
+  let trials = Runtime.Runner.run ~jobs:1 cfg in
+  Alcotest.(check int) "three trials ran" 3 (List.length trials);
+  Alcotest.(check int) "one sampler build for three trials" (b0 + 1)
+    (Runtime.Sampler.build_count ());
+  (* And a second multi-trial run of the same distribution builds nothing. *)
+  let _ = Runtime.Runner.run ~jobs:1 { cfg with Runtime.Config.seed = 1000 } in
+  Alcotest.(check int) "cache hit across runs" (b0 + 1) (Runtime.Sampler.build_count ())
+
+let test_zipf_trials_deterministic_parallel () =
+  (* The alias sampler draws from per-thread RNGs only; Zipf trials must
+     stay bit-identical under domain fan-out like uniform ones. *)
+  let cfg =
+    {
+      Runtime.Config.default with
+      Runtime.Config.ds = "skiplist";
+      smr = "token";
+      threads = 4;
+      key_range = 512;
+      key_dist = Runtime.Config.Zipf 0.99;
+      warmup_ns = 100_000;
+      duration_ns = 1_000_000;
+      grace_ns = 1_000_000;
+      trials = 4;
+    }
+  in
+  let digests jobs = List.map Runtime.Trial.digest (Runtime.Runner.run ~jobs cfg) in
+  Alcotest.(check (list string)) "zipf digests jobs:4 = jobs:1" (digests 1) (digests 4)
+
+let suite =
+  ( "sampler",
+    [
+      Helpers.quick "table_pmf_exact" test_table_pmf_exact;
+      Helpers.quick "sample_in_range" test_sample_in_range;
+      Helpers.quick "chi_squared_vs_reference" test_chi_squared_vs_reference;
+      Helpers.quick "hot_ranks_dominate" test_hot_ranks_dominate;
+      Helpers.quick "build_once_per_distribution" test_build_once_per_distribution;
+      Helpers.quick "build_once_across_trials" test_build_once_across_trials;
+      Helpers.quick "zipf_trials_deterministic_parallel" test_zipf_trials_deterministic_parallel;
+    ] )

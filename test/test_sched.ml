@@ -89,7 +89,8 @@ let test_run_until_cutoff () =
         reached := i;
         Sched.checkpoint th
       done);
-  Sched.run_until sched ~hard_deadline:(fun () -> 10_500);
+  Sched.set_hard_deadline sched 10_500;
+  Sched.run_until sched;
   Alcotest.(check bool) "stopped near the deadline" true (!reached >= 10 && !reached <= 11)
 
 let test_wait_not_smt_scaled () =
