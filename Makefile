@@ -1,5 +1,6 @@
 .PHONY: all build test bench bench-quick bench-smoke examples regress regress-exact \
-	regress-perf regress-bless fmt fmt-check deps deps-fmt clean
+	regress-perf regress-bless simcheck-smoke simcheck-selftest fmt fmt-check deps \
+	deps-fmt clean
 
 all: build
 
@@ -34,6 +35,19 @@ regress-exact:
 
 regress-perf:
 	dune exec bin/simbench.exe -- check --perf --out simbench-results.json
+
+# Model checker: explore adversarial schedules across every scenario with a
+# bounded budget (350 seeds x 3 strategies = 1050+ distinct schedules per
+# scenario, ~20 s at -j 4), failing on any oracle violation; counterexample
+# traces land in simcheck-traces/ (shrunk and replay-verified). Honours
+# EPOCHS_JOBS like the regress targets.
+simcheck-smoke:
+	dune exec bin/simcheck.exe -- run --budget 350
+
+# Seeded-bug matrix: every mutant must be caught by its oracle and every
+# shrunk counterexample must replay bit-identically.
+simcheck-selftest:
+	dune exec bin/simcheck.exe -- selftest
 
 # Re-record the golden baselines (multi-seed, derives the perf tolerances).
 # Review the diff before committing: blessing legitimizes whatever the

@@ -1,0 +1,92 @@
+(* Liveness oracle: epoch progress and the amortized-free contract.
+
+   Two bounded-liveness properties from the paper:
+
+   - epochs must keep advancing while threads operate. The longest virtual
+     gap between successive epoch advances (or token receipts) must stay
+     within a per-scenario budget, *widened by the total stall the
+     adversary injected*: a schedule that parks a thread for 2ms is
+     entitled to a 2ms epoch stall, but no more than that plus the base
+     budget.
+
+   - under [Amortized k], the safe-but-unfreed backlog ("pending") must
+     behave as the AF contract promises: bounded while the workload runs
+     (never a monotone pile-up), and drained back to (near) zero once
+     retirements stop — freeing work is O(k) per operation, deferred, not
+     lost. *)
+
+type t = {
+  mutable start : int;  (* virtual time monitoring began *)
+  mutable last_advance : int;
+  mutable max_gap : int;
+  mutable advances : int;
+  mutable max_pending : int;
+  mutable pending_samples : int;
+}
+
+let create () =
+  {
+    start = 0;
+    last_advance = 0;
+    max_gap = 0;
+    advances = 0;
+    max_pending = 0;
+    pending_samples = 0;
+  }
+
+let note_advance t ~time =
+  if time > t.last_advance then begin
+    t.max_gap <- max t.max_gap (time - t.last_advance);
+    t.last_advance <- time
+  end;
+  t.advances <- t.advances + 1
+
+let sample_pending t pending =
+  t.pending_samples <- t.pending_samples + 1;
+  if pending > t.max_pending then t.max_pending <- pending
+
+(* Close the final gap: silence from the last advance to the end of the
+   run counts as a stall too. *)
+let finish t ~end_time = if end_time > t.last_advance then t.max_gap <- max t.max_gap (end_time - t.last_advance)
+
+let max_gap t = t.max_gap
+let advances t = t.advances
+let max_pending t = t.max_pending
+
+let report t ?(stall_budget = max_int) ?(pending_cap = max_int) ~injected_ns ~final_pending
+    ~drain_slack () =
+  let violations = ref [] in
+  let allowed = if stall_budget = max_int then max_int else stall_budget + injected_ns in
+  if t.max_gap > allowed then
+    violations :=
+      {
+        Oracle.oracle = Oracle.liveness_stall;
+        detail =
+          Printf.sprintf
+            "epoch stalled for %dns (budget %dns = base %dns + injected %dns; %d advances seen)"
+            t.max_gap allowed stall_budget injected_ns t.advances;
+      }
+      :: !violations;
+  if t.max_pending > pending_cap then
+    violations :=
+      {
+        Oracle.oracle = Oracle.liveness_pending;
+        detail =
+          Printf.sprintf
+            "amortized-free backlog peaked at %d objects (cap %d over %d samples) — pending \
+             must stay O(batch), not pile up"
+            t.max_pending pending_cap t.pending_samples;
+      }
+      :: !violations;
+  if final_pending > drain_slack then
+    violations :=
+      {
+        Oracle.oracle = Oracle.liveness_pending;
+        detail =
+          Printf.sprintf
+            "amortized-free backlog did not drain: %d objects still pending after the quiet \
+             phase (slack %d)"
+            final_pending drain_slack;
+      }
+      :: !violations;
+  List.rev !violations

@@ -1,0 +1,33 @@
+(** Liveness oracle: bounded epoch-stall length and the amortized-free
+    pending contract (bounded while running, drained once retirements
+    stop). Injected adversarial stalls widen the stall budget — a schedule
+    that parks a thread is entitled to exactly that much epoch silence. *)
+
+type t
+
+val create : unit -> t
+
+val note_advance : t -> time:int -> unit
+(** An epoch advance / token receipt at virtual [time]. *)
+
+val sample_pending : t -> int -> unit
+(** Sample the safe-but-unfreed backlog after an operation. *)
+
+val finish : t -> end_time:int -> unit
+(** Close the final silence gap at the end of the run. *)
+
+val max_gap : t -> int
+val advances : t -> int
+val max_pending : t -> int
+
+val report :
+  t ->
+  ?stall_budget:int ->
+  ?pending_cap:int ->
+  injected_ns:int ->
+  final_pending:int ->
+  drain_slack:int ->
+  unit ->
+  Oracle.violation list
+(** Evaluate the oracle. [stall_budget] and [pending_cap] default to
+    unlimited (checks disabled). *)

@@ -1,0 +1,30 @@
+(* Seeded protocol bugs, for validating that the oracles actually catch
+   what they claim to catch (and for the CI self-test: a checker that
+   never fails is indistinguishable from a checker that checks nothing).
+
+   Each mutant perturbs only the retire path of the scenario under test —
+   the structure and the SMR implementation itself are untouched — so a
+   caught mutant demonstrates the oracle, not a broken build. *)
+
+type t =
+  | Uaf_free_early  (* release at retire time: no grace period at all *)
+  | Uaf_short_grace  (* release one operation later: a too-short grace period *)
+  | Lost_callback  (* drop the release: a leak, caught by conservation *)
+
+let names = [ "uaf-free-early"; "uaf-short-grace"; "lost-callback" ]
+
+let to_name = function
+  | Uaf_free_early -> "uaf-free-early"
+  | Uaf_short_grace -> "uaf-short-grace"
+  | Lost_callback -> "lost-callback"
+
+let of_name = function
+  | "uaf-free-early" -> Some Uaf_free_early
+  | "uaf-short-grace" -> Some Uaf_short_grace
+  | "lost-callback" -> Some Lost_callback
+  | _ -> None
+
+let describe = function
+  | Uaf_free_early -> "free retired objects immediately (no grace period)"
+  | Uaf_short_grace -> "free retired objects after one further operation (too-short grace)"
+  | Lost_callback -> "drop release callbacks (leak)"

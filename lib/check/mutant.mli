@@ -1,0 +1,13 @@
+(** Seeded protocol bugs for oracle self-tests: each perturbs only the
+    retire path of the scenario under test, so a caught mutant
+    demonstrates the oracle rather than a broken build. *)
+
+type t =
+  | Uaf_free_early  (** release at retire time: no grace period at all *)
+  | Uaf_short_grace  (** release one operation later: too-short grace *)
+  | Lost_callback  (** drop the release: a leak, caught by conservation *)
+
+val names : string list
+val to_name : t -> string
+val of_name : string -> t option
+val describe : t -> string

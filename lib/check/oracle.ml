@@ -1,0 +1,66 @@
+(* Oracle verdicts and the outcome record of one explored schedule.
+
+   A violation carries the oracle id (stable, used to match failures
+   across shrinking steps) and a human-readable detail naming the objects
+   and counters involved, so a counterexample report is actionable on its
+   own. The outcome digest covers everything observable about the run —
+   schedule, op count, violations — and is the bit-identical-replay
+   contract: a trace replays correctly iff the digests match. *)
+
+type violation = { oracle : string; detail : string }
+
+(* Stable oracle ids. *)
+let smr_safety = "smr-safety"
+let linearizability = "linearizability"
+let liveness_stall = "liveness-stall"
+let liveness_pending = "liveness-pending"
+let conservation = "conservation"
+let ds_invariant = "ds-invariant"
+let crash = "crash"
+
+type outcome = {
+  scenario : string;
+  seed : int;  (* workload seed *)
+  steps : int;  (* schedule-controller consultations *)
+  injected_ns : int;  (* total adversarial stall injected *)
+  ops : int;  (* operations completed across all threads *)
+  schedule_digest : string;  (* decisions + observed interleaving *)
+  violations : violation list;
+}
+
+let failed o = o.violations <> []
+let first_failure o = match o.violations with [] -> None | v :: _ -> Some v.oracle
+
+let violation_repr v = v.oracle ^ "|" ^ v.detail
+
+(* The replay-identity digest: covers the schedule and every verdict. *)
+let digest o =
+  Digest.to_hex
+    (Digest.string
+       (String.concat "\n"
+          ([
+             o.scenario;
+             string_of_int o.seed;
+             string_of_int o.steps;
+             string_of_int o.injected_ns;
+             string_of_int o.ops;
+             o.schedule_digest;
+           ]
+          @ List.map violation_repr o.violations)))
+
+let schedule_digest ~decisions ~interleaving ~final_clocks =
+  Digest.to_hex
+    (Digest.string
+       (Trace.decisions_repr decisions ^ "#" ^ interleaving ^ "#"
+       ^ String.concat "," (List.map string_of_int final_clocks)))
+
+let pp_violation ppf v = Format.fprintf ppf "[%s] %s" v.oracle v.detail
+
+let pp_outcome ppf o =
+  Format.fprintf ppf "%s seed=%d steps=%d injected=%dns ops=%d: %s" o.scenario o.seed o.steps
+    o.injected_ns o.ops
+    (match o.violations with
+    | [] -> "ok"
+    | vs ->
+        String.concat "; "
+          (List.map (fun v -> Format.asprintf "%a" pp_violation v) vs))

@@ -1,0 +1,38 @@
+(** Oracle verdicts and the outcome of one explored schedule. *)
+
+type violation = { oracle : string; detail : string }
+
+(** {1 Stable oracle ids} *)
+
+val smr_safety : string
+val linearizability : string
+val liveness_stall : string
+val liveness_pending : string
+val conservation : string
+val ds_invariant : string
+val crash : string
+
+type outcome = {
+  scenario : string;
+  seed : int;  (** workload seed *)
+  steps : int;  (** schedule-controller consultations *)
+  injected_ns : int;  (** total adversarial stall injected *)
+  ops : int;  (** operations completed across all threads *)
+  schedule_digest : string;  (** decisions + observed interleaving *)
+  violations : violation list;
+}
+
+val failed : outcome -> bool
+val first_failure : outcome -> string option
+
+val digest : outcome -> string
+(** The replay-identity digest: a trace replays correctly iff the original
+    and replayed outcomes have equal digests. *)
+
+val schedule_digest :
+  decisions:Trace.decision list -> interleaving:string -> final_clocks:int list -> string
+(** Distinct-schedule accounting: two runs with equal digests took the
+    same decisions and produced the same interleaving. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+val pp_outcome : Format.formatter -> outcome -> unit

@@ -1,0 +1,605 @@
+(* Checkable scenarios: small, fully deterministic workloads over either
+   the simulated stack (scheduler + allocator + reclaimer + set structure)
+   or the real multicore protocols in lib/parallel, driven as coroutines
+   on one domain so every interleaving is schedule-controlled.
+
+   A scenario owns its entire wiring; [run] executes one schedule under a
+   strategy recorder and an optional seeded mutant, evaluates every oracle
+   and returns the outcome. The same (scenario, seed, decision list) is
+   guaranteed to reproduce the same outcome digest — the replay contract
+   the trace format relies on. *)
+
+open Simcore
+
+type t = {
+  name : string;
+  summary : string;
+  run : seed:int -> recorder:Strategy.recorder -> mutant:Mutant.t option -> Oracle.outcome;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Simulated scenarios: a concurrent set over the DES simulator.      *)
+(* ------------------------------------------------------------------ *)
+
+type sim_params = {
+  n_threads : int;
+  ops_per_thread : int;
+  drain_ops : int;  (* trailing read-only ops: the AF backlog must drain *)
+  key_range : int;
+  insert_pct : float;
+  delete_pct : float;
+  stall_budget : int option;  (* base epoch-stall budget, virtual ns *)
+  pending_cap : int option;
+  drain_slack : int;
+}
+
+let default_sim =
+  {
+    n_threads = 4;
+    ops_per_thread = 120;
+    drain_ops = 64;
+    key_range = 48;
+    insert_pct = 0.4;
+    delete_pct = 0.4;
+    stall_budget = None;
+    pending_cap = None;
+    drain_slack = 0;
+  }
+
+(* Wrap the reclaimer's retire path with a seeded bug. The mutants bypass
+   the SMR entirely, so the grace-period validator (for the UAF pair) or
+   the conservation count (for the lost callback) must catch them.
+   [held] counts handles a mutant is privately sitting on, so the
+   conservation oracle blames only genuine leaks. *)
+let mutated_retire ~(smr : Smr.Smr_intf.t) ~safety ~policy ~held = function
+  | None -> smr.Smr.Smr_intf.retire
+  | Some Mutant.Uaf_free_early ->
+      fun th h ->
+        Smr.Safety.note_retire safety ~handle:h ~time:(Sched.now th);
+        Smr.Free_policy.free_one policy th h
+  | Some Mutant.Uaf_short_grace ->
+      let stash = ref None in
+      fun th h ->
+        Smr.Safety.note_retire safety ~handle:h ~time:(Sched.now th);
+        (match !stash with
+        | Some g ->
+            Smr.Free_policy.free_one policy th g;
+            decr held
+        | None -> ());
+        stash := Some h;
+        incr held
+  | Some Mutant.Lost_callback -> fun _ _ -> ()
+
+let run_sim ~name ~ds_name ~smr_name ~params ~seed ~(recorder : Strategy.recorder) ~mutant =
+  let p = params in
+  let n = p.n_threads in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let sched = Sched.create ~topology:Topology.intel_192t ~n_threads:n ~seed () in
+  Sched.set_controller sched (Some recorder.Strategy.controller);
+  (* The leak allocator never recycles handles, so every free is visible
+     to the grace-period validator exactly once. *)
+  let alloc = Alloc.Registry.make "leak" sched in
+  let safety = Smr.Safety.create ~n in
+  let base_smr, af = Smr.Smr_registry.parse smr_name in
+  let mode = if af then Smr.Free_policy.Amortized 1 else Smr.Free_policy.Batch in
+  let policy = Smr.Free_policy.create ~safety ~mode ~alloc ~n () in
+  let ctx = { Smr.Smr_intf.sched; alloc; policy; safety = Some safety } in
+  let smr = Smr.Smr_registry.make ~token_period:16 ~debra_check_every:2 base_smr ctx in
+  let held = ref 0 in
+  let retire = mutated_retire ~smr ~safety ~policy ~held mutant in
+  let node_cost = Cost_model.node_cost (Sched.cost sched) ~sockets_used:1 in
+  let ds_ctx = { Ds.Ds_intf.alloc; retire; node_cost } in
+  let lin = Lin.create () in
+  let liv = Liveness.create () in
+  let ops_done = ref 0 in
+  Array.iter
+    (fun (th : Sched.thread) ->
+      th.Sched.hooks.Sched.on_epoch_advance <-
+        (fun ~time ~epoch:_ -> Liveness.note_advance liv ~time))
+    (Sched.threads sched);
+  (try
+     (* Structure creation allocates (the ABtree's initial leaf), so it
+        runs inside the simulation, to completion, before the workers. *)
+     let ds_ref = ref None in
+     Sched.spawn sched (Sched.thread sched 0) (fun th ->
+         ds_ref := Some (Ds.Ds_registry.make ds_name ds_ctx th));
+     Sched.run sched;
+     let ds = match !ds_ref with Some ds -> ds | None -> assert false in
+     let do_op (th : Sched.thread) ~read_only =
+       let tid = th.Sched.tid in
+       Smr.Safety.note_op_begin safety ~tid ~time:(Sched.now th);
+       smr.Smr.Smr_intf.begin_op th;
+       Sched.work th Metrics.Ds (Sched.cost sched).Cost_model.op_fixed;
+       let key = Rng.int_below th.Sched.rng p.key_range in
+       let coin = if read_only then 1.0 else Rng.float th.Sched.rng in
+       let inv = Sched.now th in
+       (* The structure operation is atomic (linearizable), so the order
+          in which atomic bodies execute IS the linearization order; the
+          oracle replays that order against a sequential model. *)
+       let exec, op, result =
+         Sched.atomically th (fun () ->
+             let exec = Lin.linearize lin in
+             if coin < p.insert_pct then
+               (exec, Lin.Insert key, ds.Ds.Ds_intf.insert th key)
+             else if coin < p.insert_pct +. p.delete_pct then
+               (exec, Lin.Delete key, ds.Ds.Ds_intf.delete th key)
+             else (exec, Lin.Contains key, ds.Ds.Ds_intf.contains th key))
+       in
+       smr.Smr.Smr_intf.end_op th;
+       Lin.record lin ~exec ~tid ~inv ~resp:(Sched.now th) ~op
+         ~result:(if result.Ds.Ds_intf.changed then 1 else 0);
+       incr ops_done;
+       Liveness.sample_pending liv (Smr.Free_policy.total_pending policy);
+       Sched.checkpoint th
+     in
+     (* Quiet-phase coordination: every thread keeps doing read-only ops
+        until ALL threads have finished the mutating phase and drained for
+        at least [drain_ops] operations. A thread that stopped early would
+        pin the epoch (its announcement goes stale), stranding the other
+        threads' backlogs — exactly the stalled-thread pathology, but here
+        it would be an artifact of the finite workload, not a bug.
+
+        The quota also extends while anything is still pending: an
+        adversarial stall can concentrate a whole run's retirements into
+        one thread's bag, and amortized freeing clears at most one object
+        per op, so a fixed quota would flag a backlog that merely needs a
+        few more ops. The extension is capped, so a backlog that genuinely
+        cannot drain (a liveness bug) still terminates and is flagged. *)
+     let quiet = Array.make n 0 in
+     let drain_cap = 8 * p.drain_ops in
+     let draining () =
+       Array.exists (fun q -> q < p.drain_ops) quiet
+       || (Smr.Free_policy.total_pending policy > p.drain_slack
+          && Array.exists (fun q -> q < drain_cap) quiet)
+     in
+     let mains_done = ref 0 in
+     let body (th : Sched.thread) =
+       for _ = 1 to p.ops_per_thread do
+         do_op th ~read_only:false
+       done;
+       (* Once every thread is past the mutating phase the adversary is
+          retired: the drain contract below counts operations, not virtual
+          time, so further stalls could not mask a bug — they would only
+          make the catch-up through stall-inflated clocks expensive. *)
+       incr mains_done;
+       if !mains_done = n then Sched.set_controller sched None;
+       (* Quiet phase: no retirements, so the amortized-free backlog must
+          drain back toward zero — the AF liveness contract. *)
+       while draining () do
+         do_op th ~read_only:true;
+         (* Idle between quiet ops to catch up cheaply through any
+            stall-inflated clocks — and yield right after, so the next
+            atomic op still runs only when this thread is minimal (the
+            invariant the real-time linearizability check rests on). *)
+         Sched.wait th Metrics.Idle 20_000;
+         Sched.checkpoint th;
+         quiet.(th.Sched.tid) <- quiet.(th.Sched.tid) + 1
+       done;
+       Smr.Safety.note_quiescent safety ~tid:th.Sched.tid
+     in
+     Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
+     Sched.run sched;
+     (* --- Oracles --- *)
+     List.iter
+       (fun v ->
+         add
+           {
+             Oracle.oracle = Oracle.smr_safety;
+             detail = Format.asprintf "%a" Smr.Safety.pp_violation v;
+           })
+       (Smr.Safety.violations safety);
+     List.iter add (Lin.check_set lin);
+     (try ds.Ds.Ds_intf.check_invariants ()
+      with Invalid_argument msg ->
+        add { Oracle.oracle = Oracle.ds_invariant; detail = msg });
+     (* Leak freedom: live allocator objects are exactly the reachable
+        nodes plus the reclaimer's unreclaimed garbage (which already
+        counts the amortized-pending backlog). *)
+     let live = Alloc.Obj_table.live_count alloc.Alloc.Alloc_intf.table in
+     let expected =
+       ds.Ds.Ds_intf.node_count () + smr.Smr.Smr_intf.total_garbage () + !held
+     in
+     if live <> expected then
+       add
+         {
+           Oracle.oracle = Oracle.conservation;
+           detail =
+             Printf.sprintf
+               "%d live allocator objects but %d accounted for (%d in the structure, %d \
+                reclaimer garbage) — objects leaked or released twice"
+               live expected
+               (ds.Ds.Ds_intf.node_count ())
+               (smr.Smr.Smr_intf.total_garbage ());
+         };
+     let end_time =
+       Array.fold_left (fun m (th : Sched.thread) -> max m th.Sched.clock) 0 (Sched.threads sched)
+     in
+     Liveness.finish liv ~end_time;
+     List.iter add
+       (Liveness.report liv ?stall_budget:p.stall_budget ?pending_cap:p.pending_cap
+          ~injected_ns:(recorder.Strategy.injected_ns ())
+          ~final_pending:(Smr.Free_policy.total_pending policy)
+          ~drain_slack:p.drain_slack ())
+   with e ->
+     add { Oracle.oracle = Oracle.crash; detail = Printexc.to_string e });
+  let final_clocks =
+    Array.to_list (Array.map (fun (th : Sched.thread) -> th.Sched.clock) (Sched.threads sched))
+  in
+  {
+    Oracle.scenario = name;
+    seed;
+    steps = recorder.Strategy.steps ();
+    injected_ns = recorder.Strategy.injected_ns ();
+    ops = !ops_done;
+    schedule_digest =
+      Oracle.schedule_digest
+        ~decisions:(recorder.Strategy.decisions ())
+        ~interleaving:(Lin.interleaving lin) ~final_clocks;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Parallel scenarios: the real lib/parallel protocols (Atomics code), *)
+(* driven from scheduler coroutines on one domain.                     *)
+(* ------------------------------------------------------------------ *)
+
+type par_params = {
+  par_threads : int;
+  par_ops : int;
+  par_quiet : int;  (* trailing enter/exit cycles with no retirements *)
+  blocks : int;
+  par_pending_cap : int option;
+  par_drain_slack : int;
+}
+
+let default_par =
+  {
+    par_threads = 3;
+    par_ops = 160;
+    par_quiet = 48;
+    blocks = 48;
+    par_pending_cap = None;
+    par_drain_slack = 8;
+  }
+
+(* A protocol-neutral view of Ebr / Token_ring, so one workload checks
+   both real reclaimers. *)
+type proto = {
+  enter : int -> unit;
+  exit_ : int -> unit;
+  retire : int -> (unit -> unit) -> unit;
+  pending : int -> int;
+  note_advance : int -> unit;  (* poll for epoch/token progress, per thread *)
+  flush : unit -> unit;  (* end of run: release everything retired *)
+  totals : unit -> int * int;  (* retired, released *)
+}
+
+let make_ebr ~mode ~n (liv : Liveness.t) (get_time : int -> int) =
+  let ebr = Parallel.Ebr.create ~mode ~check_every:1 ~max_domains:n () in
+  let handles = Array.init n (fun _ -> Parallel.Ebr.register ebr) in
+  let last_epoch = ref 0 in
+  {
+    enter = (fun i -> Parallel.Ebr.enter handles.(i));
+    exit_ = (fun i -> Parallel.Ebr.exit handles.(i));
+    retire = (fun i cb -> Parallel.Ebr.retire handles.(i) cb);
+    pending = (fun i -> Parallel.Ebr.pending handles.(i));
+    note_advance =
+      (fun i ->
+        let e = Parallel.Ebr.current_epoch ebr in
+        if e > !last_epoch then begin
+          last_epoch := e;
+          Liveness.note_advance liv ~time:(get_time i)
+        end);
+    flush = (fun () -> Array.iter Parallel.Ebr.flush_unsafe handles);
+    totals =
+      (fun () ->
+        Array.fold_left
+          (fun (r, f) h -> (r + Parallel.Ebr.retired h, f + Parallel.Ebr.released h))
+          (0, 0) handles);
+  }
+
+let make_token ~mode ~n (liv : Liveness.t) (get_time : int -> int) =
+  let ring = Parallel.Token_ring.create ~mode ~max_domains:n () in
+  let handles = Array.init n (fun _ -> Parallel.Token_ring.register ring) in
+  let last_receipts = ref 0 in
+  {
+    enter = (fun i -> Parallel.Token_ring.enter handles.(i));
+    exit_ = (fun i -> Parallel.Token_ring.exit handles.(i));
+    retire = (fun i cb -> Parallel.Token_ring.retire handles.(i) cb);
+    pending = (fun i -> Parallel.Token_ring.pending handles.(i));
+    note_advance =
+      (fun i ->
+        let r =
+          Array.fold_left (fun a h -> a + Parallel.Token_ring.receipts h) 0 handles
+        in
+        if r > !last_receipts then begin
+          last_receipts := r;
+          Liveness.note_advance liv ~time:(get_time i)
+        end);
+    flush = (fun () -> Array.iter Parallel.Token_ring.flush_unsafe handles);
+    totals =
+      (fun () ->
+        Array.fold_left
+          (fun (r, f) h -> (r + Parallel.Token_ring.retired h, f + Parallel.Token_ring.released h))
+          (0, 0) handles);
+  }
+
+let run_par ~name ~make_proto ~params ~seed ~(recorder : Strategy.recorder) ~mutant =
+  let p = params in
+  let n = p.par_threads in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let sched = Sched.create ~topology:Topology.intel_192t ~n_threads:n ~seed () in
+  Sched.set_controller sched (Some recorder.Strategy.controller);
+  let slab = Parallel.Slab.create ~blocks:p.blocks ~block_words:2 in
+  let stack = Parallel.Treiber_stack.create () in
+  let liv = Liveness.create () in
+  let get_time i = (Sched.thread sched i).Sched.clock in
+  let proto = make_proto ~n liv get_time in
+  (* Mutant wrapping of the retire path: run the callback too early, one
+     retirement late, or never. The stash is drained at the end so only
+     the genuinely-lost callbacks show up as a conservation deficit. *)
+  let stash = ref None in
+  let retire =
+    match mutant with
+    | None -> proto.retire
+    | Some Mutant.Uaf_free_early -> fun _ cb -> cb ()
+    | Some Mutant.Uaf_short_grace ->
+        fun _ cb ->
+          (match !stash with Some f -> f () | None -> ());
+          stash := Some cb
+    | Some Mutant.Lost_callback -> fun _ _ -> ()
+  in
+  let interleaving = Buffer.create 256 in
+  let ops_done = ref 0 in
+  (try
+     (* See the sim runner: every thread keeps cycling until all threads
+        have finished producing and drained, because a stopped participant
+        pins the epoch / halts the token ring and would strand the other
+        threads' backlogs — a workload artifact, not a protocol bug. *)
+     let quiet = Array.make n 0 in
+     (* As in the sim runner, the quota extends (bounded) while callbacks
+        are still pending, so a stall-concentrated backlog gets the ops it
+        needs to drain and only a genuinely stuck backlog is flagged. *)
+     let total_pending () =
+       let s = ref 0 in
+       for i = 0 to n - 1 do
+         s := !s + proto.pending i
+       done;
+       !s
+     in
+     let drain_cap = 8 * p.par_quiet in
+     let draining () =
+       Array.exists (fun q -> q < p.par_quiet) quiet
+       || (total_pending () > p.par_drain_slack
+          && Array.exists (fun q -> q < drain_cap) quiet)
+     in
+     let mains_done = ref 0 in
+     let body (th : Sched.thread) =
+       let i = th.Sched.tid in
+       for _ = 1 to p.par_ops do
+         proto.enter i;
+         Sched.work th Metrics.Ds 120;
+         Buffer.add_string interleaving (string_of_int i);
+         Buffer.add_char interleaving ';';
+         (match Rng.int_below th.Sched.rng 3 with
+         | 0 -> (
+             (* Producer: publish a block through the stack. *)
+             match Parallel.Slab.alloc slab with
+             | Some b ->
+                 Parallel.Slab.write slab b ~word:0 ((b * 7) + 1);
+                 Parallel.Treiber_stack.push stack ~value:b ~seq:(Parallel.Slab.sequence slab b)
+             | None -> ())
+         | 1 -> (
+             (* Consumer: pop, validate, retire. The block's sequence and
+                payload must be exactly as published — a recycled block
+                is a use-after-free made observable. *)
+             match Parallel.Treiber_stack.pop stack with
+             | Some (b, seq) ->
+                 if Parallel.Slab.sequence slab b <> seq then
+                   add
+                     {
+                       Oracle.oracle = Oracle.smr_safety;
+                       detail =
+                         Printf.sprintf
+                           "thread %d popped block %d with sequence %d, found %d — block \
+                            recycled without a grace period"
+                           i b seq
+                           (Parallel.Slab.sequence slab b);
+                     }
+                 else if Parallel.Slab.read slab b ~word:0 <> (b * 7) + 1 then
+                   add
+                     {
+                       Oracle.oracle = Oracle.smr_safety;
+                       detail =
+                         Printf.sprintf "thread %d read torn payload in block %d" i b;
+                     };
+                 retire i (fun () -> Parallel.Slab.free slab b)
+             | None -> ())
+         | _ -> (
+             (* Stalled reader: peek a node, then yield inside the
+                protected section. The adversary may park this thread
+                for a long virtual time; the reclaimer must still not
+                recycle the observed block, because this operation began
+                before any retirement that could free it. *)
+             match Parallel.Treiber_stack.peek stack with
+             | Some (b, seq) ->
+                 Sched.work th Metrics.Ds 40;
+                 Sched.checkpoint th;
+                 if Parallel.Slab.sequence slab b <> seq then
+                   add
+                     {
+                       Oracle.oracle = Oracle.smr_safety;
+                       detail =
+                         Printf.sprintf
+                           "block %d recycled under a protected reader on thread %d (sequence \
+                            %d -> %d)"
+                           b i seq
+                           (Parallel.Slab.sequence slab b);
+                     }
+             | None -> ()));
+         proto.exit_ i;
+         proto.note_advance i;
+         incr ops_done;
+         Liveness.sample_pending liv (proto.pending i);
+         Sched.checkpoint th
+       done;
+       (* The adversary is retired once everyone stopped retiring; see the
+          sim runner for why this cannot mask a drain bug. *)
+       incr mains_done;
+       if !mains_done = n then Sched.set_controller sched None;
+       (* Quiet phase: keep entering (epochs advance, amortized draining
+          continues) but retire nothing, so the backlog must drain. *)
+       while draining () do
+         proto.enter i;
+         Sched.work th Metrics.Ds 60;
+         proto.exit_ i;
+         proto.note_advance i;
+         quiet.(i) <- quiet.(i) + 1;
+         Sched.wait th Metrics.Idle 20_000;
+         Sched.checkpoint th
+       done
+     in
+     Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
+     Sched.run sched;
+     (* --- Epilogue: all workers done, so flushing is safe. --- *)
+     (match !stash with
+     | Some f ->
+         f ();
+         stash := None
+     | None -> ());
+     let pending_before_flush =
+       let rec sum i acc = if i < 0 then acc else sum (i - 1) (acc + proto.pending i) in
+       sum (n - 1) 0
+     in
+     proto.flush ();
+     let rec drain () =
+       match Parallel.Treiber_stack.pop stack with
+       | Some (b, _) ->
+           Parallel.Slab.free slab b;
+           drain ()
+       | None -> ()
+     in
+     drain ();
+     if Parallel.Slab.free_blocks slab <> p.blocks then
+       add
+         {
+           Oracle.oracle = Oracle.conservation;
+           detail =
+             Printf.sprintf
+               "%d of %d slab blocks unaccounted for after flushing and draining — release \
+                callbacks were lost"
+               (p.blocks - Parallel.Slab.free_blocks slab)
+               p.blocks;
+         };
+     let retired, released = proto.totals () in
+     if retired <> released then
+       add
+         {
+           Oracle.oracle = Oracle.conservation;
+           detail =
+             Printf.sprintf "%d retirements but %d releases after the final flush" retired
+               released;
+         };
+     let end_time =
+       Array.fold_left (fun m (th : Sched.thread) -> max m th.Sched.clock) 0 (Sched.threads sched)
+     in
+     Liveness.finish liv ~end_time;
+     List.iter add
+       (Liveness.report liv ?pending_cap:p.par_pending_cap
+          ~injected_ns:(recorder.Strategy.injected_ns ())
+          ~final_pending:pending_before_flush ~drain_slack:p.par_drain_slack ())
+   with e -> add { Oracle.oracle = Oracle.crash; detail = Printexc.to_string e });
+  let final_clocks =
+    Array.to_list (Array.map (fun (th : Sched.thread) -> th.Sched.clock) (Sched.threads sched))
+  in
+  {
+    Oracle.scenario = name;
+    seed;
+    steps = recorder.Strategy.steps ();
+    injected_ns = recorder.Strategy.injected_ns ();
+    ops = !ops_done;
+    schedule_digest =
+      Oracle.schedule_digest
+        ~decisions:(recorder.Strategy.decisions ())
+        ~interleaving:(Buffer.contents interleaving) ~final_clocks;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Registry                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sim ~name ~summary ~ds_name ~smr_name params =
+  {
+    name;
+    summary;
+    run = (fun ~seed ~recorder ~mutant -> run_sim ~name ~ds_name ~smr_name ~params ~seed ~recorder ~mutant);
+  }
+
+let par ~name ~summary ~make_proto params =
+  {
+    name;
+    summary;
+    run = (fun ~seed ~recorder ~mutant -> run_par ~name ~make_proto ~params ~seed ~recorder ~mutant);
+  }
+
+(* Base epoch-stall budgets (virtual ns) are calibrated against the
+   unperturbed runs with a ~5x margin; injected stalls extend them at
+   runtime (see Liveness). AF scenarios additionally bound the backlog
+   and require it drained after the read-only tail. *)
+let all =
+  [
+    sim ~name:"sim/list/debra" ~summary:"lazy list set, DEBRA, batch free"
+      ~ds_name:"list" ~smr_name:"debra"
+      { default_sim with stall_budget = Some 6_000_000 };
+    sim ~name:"sim/list/debra_af" ~summary:"lazy list set, DEBRA, amortized free"
+      ~ds_name:"list" ~smr_name:"debra_af"
+      {
+        default_sim with
+        stall_budget = Some 6_000_000;
+        pending_cap = Some 512;
+        drain_slack = 4;
+      };
+    sim ~name:"sim/skiplist/token" ~summary:"skiplist set, Token-EBR, batch free"
+      ~ds_name:"skiplist" ~smr_name:"token"
+      { default_sim with stall_budget = Some 12_000_000 };
+    sim ~name:"sim/skiplist/token_af" ~summary:"skiplist set, Token-EBR, amortized free"
+      ~ds_name:"skiplist" ~smr_name:"token_af"
+      {
+        default_sim with
+        stall_budget = Some 12_000_000;
+        pending_cap = Some 512;
+        drain_slack = 4;
+      };
+    sim ~name:"sim/abtree/debra_af" ~summary:"(a,b)-tree, DEBRA, amortized free"
+      ~ds_name:"abtree" ~smr_name:"debra_af"
+      {
+        default_sim with
+        stall_budget = Some 6_000_000;
+        pending_cap = Some 512;
+        drain_slack = 4;
+      };
+    sim ~name:"sim/abtree/token" ~summary:"(a,b)-tree, Token-EBR, batch free"
+      ~ds_name:"abtree" ~smr_name:"token"
+      { default_sim with stall_budget = Some 12_000_000 };
+    par ~name:"par/ebr/batch" ~summary:"real EBR (Atomics), batch release"
+      ~make_proto:(fun ~n liv get_time -> make_ebr ~mode:Parallel.Ebr.Batch ~n liv get_time)
+      default_par;
+    par ~name:"par/ebr/af" ~summary:"real EBR (Atomics), amortized release"
+      ~make_proto:(fun ~n liv get_time ->
+        make_ebr ~mode:(Parallel.Ebr.Amortized 2) ~n liv get_time)
+      { default_par with par_pending_cap = Some 256 };
+    par ~name:"par/token/batch" ~summary:"real Token-EBR ring (Atomics), batch release"
+      ~make_proto:(fun ~n liv get_time ->
+        make_token ~mode:Parallel.Token_ring.Batch ~n liv get_time)
+      default_par;
+    par ~name:"par/token/af" ~summary:"real Token-EBR ring (Atomics), amortized release"
+      ~make_proto:(fun ~n liv get_time ->
+        make_token ~mode:(Parallel.Token_ring.Amortized 2) ~n liv get_time)
+      { default_par with par_pending_cap = Some 256 };
+  ]
+
+let names = List.map (fun s -> s.name) all
+let of_name n = List.find_opt (fun s -> s.name = n) all

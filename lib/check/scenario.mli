@@ -1,0 +1,18 @@
+(** Checkable scenarios: small, fully deterministic workloads over either
+    the simulated stack (scheduler + allocator + reclaimer + set
+    structure) or the real multicore protocols in [lib/parallel], driven
+    as coroutines on one domain so every interleaving is
+    schedule-controlled.
+
+    The same (scenario, seed, decision list) always reproduces the same
+    outcome digest — the replay contract the trace format relies on. *)
+
+type t = {
+  name : string;
+  summary : string;
+  run : seed:int -> recorder:Strategy.recorder -> mutant:Mutant.t option -> Oracle.outcome;
+}
+
+val all : t list
+val names : string list
+val of_name : string -> t option

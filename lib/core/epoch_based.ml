@@ -55,7 +55,13 @@ let enter_epoch t st (th : Sched.thread) e =
   for i = 0 to bags_per_thread - 1 do
     if st.bag_epoch.(i) = -1 && !free_bag = -1 then free_bag := i
   done;
-  assert (!free_bag >= 0);
+  if !free_bag < 0 then
+    failwith
+      (Printf.sprintf
+         "Epoch_based.enter_epoch: invariant violated: no free limbo bag entering epoch %d \
+          (tid %d, bag_epoch = [%d; %d; %d]) — the %d-bag rotation must always leave one \
+          free after disposing bags <= e-3"
+         e th.Sched.tid st.bag_epoch.(0) st.bag_epoch.(1) st.bag_epoch.(2) bags_per_thread);
   st.bag_epoch.(!free_bag) <- e;
   st.cur <- !free_bag;
   (* Restart the announcement scan: observations made for the previous

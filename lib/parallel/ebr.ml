@@ -123,7 +123,13 @@ let enter_epoch h e =
   for i = 0 to 2 do
     if h.bag_epoch.(i) = -1 && !free = -1 then free := i
   done;
-  assert (!free >= 0);
+  if !free < 0 then
+    failwith
+      (Printf.sprintf
+         "Ebr.enter_epoch: invariant violated: no free limbo bag entering epoch %d (slot %d, \
+          bag_epoch = [%d; %d; %d]) — three rotating bags must always leave one free after \
+          disposing bags <= e-3"
+         e h.slot h.bag_epoch.(0) h.bag_epoch.(1) h.bag_epoch.(2));
   h.bag_epoch.(!free) <- e;
   h.cur <- !free;
   h.scan_idx <- (h.slot + 1) mod max 1 h.t.n_slots

@@ -31,6 +31,14 @@ let rec pop t =
         pop t
       end
 
+(* Read the top node without removing it: the classic SMR hazard. The
+   caller keeps using [value] after this returns, so the block must not be
+   recycled until the caller's operation ends — exactly what a grace
+   period guarantees and what the model checker's stalled-reader schedules
+   attack. *)
+let peek t =
+  match Atomic.get t.head with Nil -> None | Node { value; seq; _ } -> Some (value, seq)
+
 let is_empty t = Atomic.get t.head = Nil
 
 let length t =

@@ -10,6 +10,10 @@ val push : t -> value:int -> seq:int -> unit
 val pop : t -> (int * int) option
 (** [(value, seq)] of the popped node. *)
 
+val peek : t -> (int * int) option
+(** [(value, seq)] of the top node without removing it. The returned block
+    is still shared: it may only be dereferenced under SMR protection. *)
+
 val is_empty : t -> bool
 
 val length : t -> int

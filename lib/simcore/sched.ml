@@ -67,6 +67,9 @@ and t = {
   mutable hard_deadline : int;  (* [run_until] cutoff, virtual ns (max_int = none) *)
   oversub : float;  (* software threads per logical CPU; > 1 = oversubscribed *)
   quantum : int;  (* scheduling timeslice under oversubscription, virtual ns *)
+  mutable controller : (thread -> int) option;
+      (* schedule controller (model checking): consulted at every
+         checkpoint, returns extra stall ns injected before the yield *)
 }
 
 type _ Effect.t += Yield : thread -> unit Effect.t
@@ -88,6 +91,7 @@ let create ?(cost = Cost_model.default) ~topology ~n_threads ~seed () =
       hard_deadline = max_int;
       oversub = Topology.oversubscription topology ~n:n_threads;
       quantum = quantum_ns;
+      controller = None;
     }
   in
   let root_rng = Rng.create seed in
@@ -166,8 +170,19 @@ let maybe_preempt th =
 let checkpoint th =
   if th.atomic_depth = 0 then begin
     maybe_preempt th;
+    (match th.sched.controller with
+    | None -> ()
+    | Some f ->
+        (* A schedule controller perturbs the interleaving by stalling the
+           yielding thread: its heap key moves into the future, so another
+           thread runs first. The stall is charged as idle (descheduled)
+           time, exactly like an involuntary preemption. *)
+        let d = f th in
+        if d > 0 then wait th Metrics.Idle d);
     Effect.perform (Yield th)
   end
+
+let set_controller sched f = sched.controller <- f
 
 (* Run [f] as an atomic block: no other simulated thread is interleaved
    (checkpoints are suppressed), modelling a linearizable data structure

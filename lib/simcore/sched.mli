@@ -77,6 +77,16 @@ val checkpoint : thread -> unit
 (** Yield; resumes when this thread is again minimal. Suppressed inside
     {!atomically}. *)
 
+val set_controller : t -> (thread -> int) option -> unit
+(** Install (or remove) a {e schedule controller}, consulted at every
+    checkpoint with the yielding thread. A positive return value is
+    injected as an idle stall before the yield, pushing the thread's
+    resumption into the virtual future so a different thread runs first —
+    the primitive the model checker's exploration strategies are built on.
+    The baseline schedule is unchanged while the controller returns 0, and
+    a run is exactly reproducible for a fixed controller decision
+    sequence. Default: [None] (no perturbation). *)
+
 val atomically : thread -> (unit -> 'a) -> 'a
 (** Run an atomic block — no other simulated thread interleaves — modelling
     a linearizable data structure operation. Costs still accrue. *)

@@ -1,0 +1,252 @@
+(* The simcheck layer: strategy determinism, oracle unit semantics, trace
+   round-trips, and the end-to-end contract — a seeded use-after-free is
+   caught, its shrunk counterexample still fails on the same oracle, and
+   replaying it reproduces the outcome bit-identically. *)
+
+let sc name = Option.get (Check.Scenario.of_name name)
+let random_walk = Option.get (Check.Strategy.of_name "random-walk")
+
+(* --- Strategies --- *)
+
+let test_strategy_deterministic () =
+  (* Same spec + seed on the same scenario: identical decisions and an
+     identical outcome digest, twice in a row. *)
+  let scenario = sc "sim/list/debra" in
+  let r1 = Check.Engine.run_one scenario ~spec:random_walk ~seed:5 ~mutant:None in
+  let r2 = Check.Engine.run_one scenario ~spec:random_walk ~seed:5 ~mutant:None in
+  Alcotest.(check int) "same decision count" (List.length r1.Check.Engine.decisions)
+    (List.length r2.Check.Engine.decisions);
+  List.iter2
+    (fun (a : Check.Trace.decision) (b : Check.Trace.decision) ->
+      Alcotest.(check int) "same step" a.Check.Trace.step b.Check.Trace.step;
+      Alcotest.(check int) "same delay" a.Check.Trace.delay b.Check.Trace.delay)
+    r1.Check.Engine.decisions r2.Check.Engine.decisions;
+  Alcotest.(check string) "same outcome digest"
+    (Check.Oracle.digest r1.Check.Engine.outcome)
+    (Check.Oracle.digest r2.Check.Engine.outcome)
+
+let test_strategy_seeds_differ () =
+  (* Different seeds must actually explore different schedules. *)
+  let scenario = sc "sim/list/debra" in
+  let d seed =
+    (Check.Engine.run_one scenario ~spec:random_walk ~seed ~mutant:None).Check.Engine.outcome
+      .Check.Oracle.schedule_digest
+  in
+  Alcotest.(check bool) "distinct schedules" true (d 1 <> d 2)
+
+let test_strategy_replay_reproduces_decisions () =
+  (* Feeding a run's decisions back through the Replay spec reproduces the
+     run exactly — the foundation of trace replay. *)
+  let scenario = sc "sim/skiplist/token" in
+  let r = Check.Engine.run_one scenario ~spec:random_walk ~seed:3 ~mutant:None in
+  let rr =
+    Check.Engine.run_one scenario
+      ~spec:(Check.Strategy.Replay r.Check.Engine.decisions)
+      ~seed:3 ~mutant:None
+  in
+  Alcotest.(check string) "bit-identical replay"
+    (Check.Oracle.digest r.Check.Engine.outcome)
+    (Check.Oracle.digest rr.Check.Engine.outcome)
+
+(* --- Oracle units --- *)
+
+let ev ~exec ~tid ~inv ~resp ~op ~result lin =
+  Check.Lin.record lin ~exec ~tid ~inv ~resp ~op ~result
+
+let test_lin_flags_semantic_mismatch () =
+  let lin = Check.Lin.create () in
+  ignore (Check.Lin.linearize lin);
+  ignore (Check.Lin.linearize lin);
+  (* insert(7) succeeds, then a second insert(7) also claims success:
+     impossible against the sequential set. *)
+  ev lin ~exec:0 ~tid:0 ~inv:0 ~resp:10 ~op:(Check.Lin.Insert 7) ~result:1;
+  ev lin ~exec:1 ~tid:1 ~inv:5 ~resp:15 ~op:(Check.Lin.Insert 7) ~result:1;
+  match Check.Lin.check_set lin with
+  | [] -> Alcotest.fail "duplicate successful insert not flagged"
+  | v :: _ ->
+      Alcotest.(check string) "oracle id" Check.Oracle.linearizability v.Check.Oracle.oracle
+
+let test_lin_flags_realtime_inversion () =
+  let lin = Check.Lin.create () in
+  (* Op 0 linearizes first but was invoked after op 1 responded. *)
+  ev lin ~exec:0 ~tid:0 ~inv:100 ~resp:110 ~op:(Check.Lin.Contains 1) ~result:0;
+  ev lin ~exec:1 ~tid:1 ~inv:10 ~resp:20 ~op:(Check.Lin.Contains 1) ~result:0;
+  Alcotest.(check bool) "inversion flagged" true (Check.Lin.check_set lin <> [])
+
+let test_lin_accepts_valid_history () =
+  let lin = Check.Lin.create () in
+  ev lin ~exec:0 ~tid:0 ~inv:0 ~resp:10 ~op:(Check.Lin.Insert 3) ~result:1;
+  ev lin ~exec:1 ~tid:1 ~inv:5 ~resp:20 ~op:(Check.Lin.Contains 3) ~result:1;
+  ev lin ~exec:2 ~tid:0 ~inv:15 ~resp:30 ~op:(Check.Lin.Delete 3) ~result:1;
+  ev lin ~exec:3 ~tid:1 ~inv:25 ~resp:40 ~op:(Check.Lin.Contains 3) ~result:0;
+  Alcotest.(check int) "clean history" 0 (List.length (Check.Lin.check_set lin))
+
+let test_lin_stack_and_queue_models () =
+  let lin = Check.Lin.create () in
+  ev lin ~exec:0 ~tid:0 ~inv:0 ~resp:1 ~op:(Check.Lin.Push 1) ~result:1;
+  ev lin ~exec:1 ~tid:0 ~inv:2 ~resp:3 ~op:(Check.Lin.Push 2) ~result:2;
+  ev lin ~exec:2 ~tid:1 ~inv:4 ~resp:5 ~op:Check.Lin.Pop ~result:2;
+  ev lin ~exec:3 ~tid:1 ~inv:6 ~resp:7 ~op:Check.Lin.Pop ~result:1;
+  ev lin ~exec:4 ~tid:1 ~inv:8 ~resp:9 ~op:Check.Lin.Pop ~result:(-1);
+  Alcotest.(check int) "lifo history linearizes" 0 (List.length (Check.Lin.check_stack lin));
+  (* The same history read as a queue must fail (pop order inverted). *)
+  Alcotest.(check bool) "fifo model rejects it" true (Check.Lin.check_queue lin <> [])
+
+let test_liveness_stall_budget () =
+  let liv = Check.Liveness.create () in
+  Check.Liveness.note_advance liv ~time:1_000;
+  Check.Liveness.note_advance liv ~time:9_000;  (* 8us gap *)
+  Check.Liveness.finish liv ~end_time:10_000;
+  Alcotest.(check int) "max gap measured" 8_000 (Check.Liveness.max_gap liv);
+  let stalls =
+    Check.Liveness.report liv ~stall_budget:5_000 ~injected_ns:0 ~final_pending:0
+      ~drain_slack:0 ()
+  in
+  Alcotest.(check bool) "budget exceeded flagged" true (stalls <> []);
+  (* Injected adversarial stalls widen the allowance: the same gap with
+     4us of injected delay is within contract. *)
+  let excused =
+    Check.Liveness.report liv ~stall_budget:5_000 ~injected_ns:4_000 ~final_pending:0
+      ~drain_slack:0 ()
+  in
+  Alcotest.(check int) "injected stall excuses the gap" 0 (List.length excused)
+
+let test_liveness_pending_contract () =
+  let liv = Check.Liveness.create () in
+  Check.Liveness.sample_pending liv 3;
+  Check.Liveness.sample_pending liv 700;
+  Check.Liveness.finish liv ~end_time:100;
+  let v = Check.Liveness.report liv ~pending_cap:512 ~injected_ns:0 ~final_pending:0 ~drain_slack:4 () in
+  Alcotest.(check bool) "pending cap breach flagged" true (v <> []);
+  let v2 = Check.Liveness.report liv ~injected_ns:0 ~final_pending:9 ~drain_slack:4 () in
+  Alcotest.(check bool) "undrained backlog flagged" true (v2 <> []);
+  let v3 = Check.Liveness.report liv ~injected_ns:0 ~final_pending:3 ~drain_slack:4 () in
+  Alcotest.(check int) "within slack is clean" 0 (List.length v3)
+
+(* --- Traces --- *)
+
+let test_trace_json_round_trip () =
+  let t =
+    {
+      Check.Trace.scenario = "sim/list/debra";
+      strategy = "random-walk";
+      seed = 42;
+      mutant = Some "uaf-free-early";
+      decisions = [ { Check.Trace.step = 3; delay = 500 }; { Check.Trace.step = 9; delay = 2_000 } ];
+      failure = Check.Oracle.smr_safety;
+      outcome_digest = "feedc0de";
+    }
+  in
+  match Check.Trace.of_json (Check.Trace.to_json t) with
+  | Error e -> Alcotest.failf "round trip failed: %s" e
+  | Ok t' ->
+      Alcotest.(check bool) "round trip preserves the trace" true (t = t');
+      let file = Filename.temp_file "simcheck" ".json" in
+      Fun.protect
+        ~finally:(fun () -> Sys.remove file)
+        (fun () ->
+          Check.Trace.save file t;
+          match Check.Trace.load file with
+          | Ok t'' -> Alcotest.(check bool) "file round trip" true (t = t'')
+          | Error e -> Alcotest.failf "load failed: %s" e)
+
+let test_trace_rejects_garbage () =
+  (match Check.Trace.of_json (Json.Assoc [ ("schema_version", Json.Int 1) ]) with
+  | Ok _ -> Alcotest.fail "accepted a trace with no fields"
+  | Error _ -> ());
+  match Check.Trace.load "/nonexistent/simcheck.json" with
+  | Ok _ -> Alcotest.fail "loaded a nonexistent file"
+  | Error _ -> ()
+
+(* --- End-to-end: explore, catch, shrink, replay --- *)
+
+let test_clean_scenarios_pass () =
+  List.iter
+    (fun name ->
+      let report =
+        Check.Engine.explore ~jobs:1 (sc name) ~spec:random_walk ~strategy:"random-walk"
+          ~budget:4 ~seed:1 ~mutant:None
+      in
+      Alcotest.(check int) (name ^ " clean") 0 report.Check.Engine.failing;
+      Alcotest.(check int) (name ^ " distinct") 4 report.Check.Engine.distinct)
+    [ "sim/list/debra"; "sim/list/debra_af"; "par/ebr/batch"; "par/token/af" ]
+
+let test_mutant_caught_shrunk_and_replayed () =
+  (* The acceptance pipeline in miniature: a seeded use-after-free must be
+     caught by the SMR safety oracle, the shrunk trace must still witness
+     the same failure, and its replay must be bit-identical. *)
+  let scenario = sc "sim/list/debra" in
+  let mutant = Some Check.Mutant.Uaf_free_early in
+  let report =
+    Check.Engine.explore ~jobs:1 scenario ~spec:random_walk ~strategy:"random-walk" ~budget:3
+      ~seed:1 ~mutant
+  in
+  Alcotest.(check bool) "uaf caught" true (report.Check.Engine.failing > 0);
+  let trace = List.hd report.Check.Engine.failures in
+  Alcotest.(check string) "caught by the SMR safety oracle" Check.Oracle.smr_safety
+    trace.Check.Trace.failure;
+  let shrunk, _attempts = Check.Engine.shrink ~max_attempts:50 scenario trace in
+  Alcotest.(check bool) "shrinking never grows the trace" true
+    (List.length shrunk.Check.Trace.decisions <= List.length trace.Check.Trace.decisions);
+  let outcome, identical = Check.Engine.replay scenario shrunk in
+  Alcotest.(check bool) "shrunk trace still fails" true (Check.Oracle.failed outcome);
+  Alcotest.(check (option string)) "same oracle" (Some trace.Check.Trace.failure)
+    (Check.Oracle.first_failure outcome);
+  Alcotest.(check bool) "replay is bit-identical" true identical
+
+let test_par_mutant_caught () =
+  (* The real-multicore protocols, model-checked through the simulator:
+     freeing with no grace period must be seen by the slab-sequence probe. *)
+  let report =
+    Check.Engine.explore ~jobs:1 (sc "par/ebr/batch") ~spec:random_walk
+      ~strategy:"random-walk" ~budget:40 ~seed:1 ~mutant:(Some Check.Mutant.Uaf_free_early)
+  in
+  Alcotest.(check bool) "par uaf caught" true (report.Check.Engine.failing > 0);
+  let trace = List.hd report.Check.Engine.failures in
+  Alcotest.(check string) "smr-safety oracle" Check.Oracle.smr_safety trace.Check.Trace.failure;
+  let _, identical = Check.Engine.replay (sc "par/ebr/batch") trace in
+  Alcotest.(check bool) "replayable" true identical
+
+let test_lost_callback_breaks_conservation () =
+  let report =
+    Check.Engine.explore ~jobs:1 (sc "sim/abtree/debra_af") ~spec:random_walk
+      ~strategy:"random-walk" ~budget:2 ~seed:1 ~mutant:(Some Check.Mutant.Lost_callback)
+  in
+  Alcotest.(check bool) "leak caught" true (report.Check.Engine.failing > 0);
+  let trace = List.hd report.Check.Engine.failures in
+  Alcotest.(check string) "conservation oracle" Check.Oracle.conservation
+    trace.Check.Trace.failure
+
+let test_parallel_exploration_deterministic () =
+  (* Fan-out over the domain pool must report exactly what a sequential
+     exploration does — same digests, same failures. *)
+  let spec = random_walk in
+  let run jobs =
+    let r =
+      Check.Engine.explore ~jobs (sc "sim/skiplist/token") ~spec ~strategy:"random-walk"
+        ~budget:6 ~seed:1 ~mutant:None
+    in
+    (r.Check.Engine.distinct, r.Check.Engine.failing, r.Check.Engine.ops)
+  in
+  Alcotest.(check (triple int int int)) "jobs:4 = jobs:1" (run 1) (run 4)
+
+let suite =
+  ( "check",
+    [
+      Helpers.quick "strategy_deterministic" test_strategy_deterministic;
+      Helpers.quick "strategy_seeds_differ" test_strategy_seeds_differ;
+      Helpers.quick "strategy_replay_reproduces_decisions" test_strategy_replay_reproduces_decisions;
+      Helpers.quick "lin_flags_semantic_mismatch" test_lin_flags_semantic_mismatch;
+      Helpers.quick "lin_flags_realtime_inversion" test_lin_flags_realtime_inversion;
+      Helpers.quick "lin_accepts_valid_history" test_lin_accepts_valid_history;
+      Helpers.quick "lin_stack_and_queue_models" test_lin_stack_and_queue_models;
+      Helpers.quick "liveness_stall_budget" test_liveness_stall_budget;
+      Helpers.quick "liveness_pending_contract" test_liveness_pending_contract;
+      Helpers.quick "trace_json_round_trip" test_trace_json_round_trip;
+      Helpers.quick "trace_rejects_garbage" test_trace_rejects_garbage;
+      Helpers.quick "clean_scenarios_pass" test_clean_scenarios_pass;
+      Helpers.quick "mutant_caught_shrunk_and_replayed" test_mutant_caught_shrunk_and_replayed;
+      Helpers.quick "par_mutant_caught" test_par_mutant_caught;
+      Helpers.quick "lost_callback_breaks_conservation" test_lost_callback_breaks_conservation;
+      Helpers.quick "parallel_exploration_deterministic" test_parallel_exploration_deterministic;
+    ] )

@@ -130,6 +130,108 @@ let test_ebr_two_handles_interleaved () =
   Alcotest.(check bool) "epochs advance with both" true (Parallel.Ebr.current_epoch ebr >= 3);
   Alcotest.(check bool) "released after grace period" true !released
 
+(* --- Amortized-mode edge cases --- *)
+
+let cycle_ebr h n =
+  for _ = 1 to n do
+    Parallel.Ebr.enter h;
+    Parallel.Ebr.exit h
+  done
+
+let test_ebr_amortized_k0_never_drains () =
+  (* k=0 is the degenerate amortization: safe callbacks pile up on the
+     freeable list and nothing ever runs them until an explicit flush. The
+     protocol must neither release nor lose them. *)
+  let ebr = Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 0) ~check_every:1 ~max_domains:1 () in
+  let h = Parallel.Ebr.register ebr in
+  let count = ref 0 in
+  Parallel.Ebr.enter h;
+  for _ = 1 to 5 do
+    Parallel.Ebr.retire h (fun () -> incr count)
+  done;
+  Parallel.Ebr.exit h;
+  cycle_ebr h 20;
+  Alcotest.(check int) "k=0 releases nothing" 0 !count;
+  Alcotest.(check int) "all five still pending" 5 (Parallel.Ebr.pending h);
+  Parallel.Ebr.flush_unsafe h;
+  Alcotest.(check int) "flush releases the backlog" 5 !count;
+  Alcotest.(check int) "accounting matches" 5 (Parallel.Ebr.released h)
+
+let test_ebr_amortized_k_exceeds_bag () =
+  (* k larger than the whole backlog: the first enter after the grace
+     period clears everything in one go — Batch behaviour, reached through
+     the amortized path. *)
+  let ebr =
+    Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 100) ~check_every:1 ~max_domains:1 ()
+  in
+  let h = Parallel.Ebr.register ebr in
+  let count = ref 0 in
+  Parallel.Ebr.enter h;
+  for _ = 1 to 5 do
+    Parallel.Ebr.retire h (fun () -> incr count)
+  done;
+  Parallel.Ebr.exit h;
+  (* Cycle until the bag has been spliced onto the freeable list; the very
+     next enter must then release all of it at once. *)
+  let guard = ref 0 in
+  while !count = 0 && !guard < 20 do
+    incr guard;
+    cycle_ebr h 1
+  done;
+  Alcotest.(check int) "entire bag released by one drain" 5 !count;
+  Alcotest.(check int) "nothing left pending" 0 (Parallel.Ebr.pending h)
+
+let test_ebr_amortized_pending_monotone_drain () =
+  (* Once retirements stop, [pending] must be non-increasing across
+     enter/exit cycles and reach zero — the AF liveness contract that the
+     simcheck liveness oracle bounds under adversarial schedules. *)
+  let ebr = Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 1) ~check_every:1 ~max_domains:1 () in
+  let h = Parallel.Ebr.register ebr in
+  Parallel.Ebr.enter h;
+  for _ = 1 to 12 do
+    Parallel.Ebr.retire h (fun () -> ())
+  done;
+  Parallel.Ebr.exit h;
+  let prev = ref (Parallel.Ebr.pending h) in
+  for cycle = 1 to 40 do
+    cycle_ebr h 1;
+    let p = Parallel.Ebr.pending h in
+    if p > !prev then
+      Alcotest.failf "pending grew from %d to %d at cycle %d with no retirements" !prev p cycle;
+    prev := p
+  done;
+  Alcotest.(check int) "fully drained" 0 (Parallel.Ebr.pending h);
+  Alcotest.(check int) "all twelve released" 12 (Parallel.Ebr.released h)
+
+let test_ebr_retire_during_stalled_read () =
+  (* The paper's stalled-reader hazard, deterministically: B announces an
+     epoch by entering and then stalls inside the read (never re-enters).
+     Everything A retires from then on must stay pending — B's announcement
+     pins the epoch — and be released only after B resumes. *)
+  let ebr = Parallel.Ebr.create ~mode:(Parallel.Ebr.Amortized 2) ~check_every:1 ~max_domains:2 () in
+  let a = Parallel.Ebr.register ebr in
+  let b = Parallel.Ebr.register ebr in
+  (* B is mid-read: entered, not yet exited. *)
+  Parallel.Ebr.enter b;
+  let released = ref 0 in
+  Parallel.Ebr.enter a;
+  for _ = 1 to 4 do
+    Parallel.Ebr.retire a (fun () -> incr released)
+  done;
+  Parallel.Ebr.exit a;
+  cycle_ebr a 30;
+  Alcotest.(check int) "stalled reader pins every retirement" 0 !released;
+  Alcotest.(check int) "backlog intact" 4 (Parallel.Ebr.pending a);
+  (* B finishes the read and participates again: the epoch moves and A's
+     amortized drain clears the backlog. *)
+  Parallel.Ebr.exit b;
+  for _ = 1 to 30 do
+    cycle_ebr b 1;
+    cycle_ebr a 1
+  done;
+  Alcotest.(check int) "released after the reader resumed" 4 !released;
+  Alcotest.(check int) "nothing pending" 0 (Parallel.Ebr.pending a)
+
 let test_token_single_domain () =
   let ring = Parallel.Token_ring.create ~mode:Parallel.Token_ring.Batch ~max_domains:1 () in
   let h = Parallel.Token_ring.register ring in
@@ -144,6 +246,71 @@ let test_token_single_domain () =
   Parallel.Token_ring.exit h;
   Alcotest.(check int) "released after a full round + swap" 1 !released;
   Alcotest.(check bool) "receipts counted" true (Parallel.Token_ring.receipts h >= 3)
+
+let test_token_ring_wraparound () =
+  (* Three participants driven round-robin from one thread: the token must
+     travel 0 -> 1 -> 2 -> 0 (wrap), and a retirement is released only
+     after its owner receives the token twice more — one full round moves
+     the bag to prev, the next proves every participant began a new
+     operation since. *)
+  let ring = Parallel.Token_ring.create ~mode:Parallel.Token_ring.Batch ~max_domains:3 () in
+  let hs = Array.init 3 (fun _ -> Parallel.Token_ring.register ring) in
+  let cycle_all () =
+    Array.iter
+      (fun h ->
+        Parallel.Token_ring.enter h;
+        Parallel.Token_ring.exit h)
+      hs
+  in
+  let released = ref 0 in
+  (* Round 1: everyone gets the token exactly once (wraparound included). *)
+  cycle_all ();
+  Array.iter
+    (fun h -> Alcotest.(check int) "one receipt each after a full round" 1 (Parallel.Token_ring.receipts h))
+    hs;
+  Parallel.Token_ring.retire hs.(2) (fun () -> incr released);
+  (* Round 2: slot 2's bag rotates cur -> prev on its receipt. *)
+  cycle_all ();
+  Alcotest.(check int) "not released after one round" 0 !released;
+  (* Round 3: slot 2's next receipt proves the full round; prev is safe. *)
+  cycle_all ();
+  Alcotest.(check int) "released after wraparound round" 1 !released;
+  Array.iter
+    (fun h -> Alcotest.(check int) "three receipts each" 3 (Parallel.Token_ring.receipts h))
+    hs;
+  Alcotest.(check int) "nothing pending anywhere" 0
+    (Array.fold_left (fun acc h -> acc + Parallel.Token_ring.pending h) 0 hs)
+
+let test_token_ring_one_participant () =
+  (* Degenerate ring: with a single participant the token passes to
+     itself, so every enter is a receipt and the two-bag rotation alone
+     provides the grace period. Amortized mode must still drain k per op. *)
+  let ring =
+    Parallel.Token_ring.create ~mode:(Parallel.Token_ring.Amortized 1) ~max_domains:1 ()
+  in
+  let h = Parallel.Token_ring.register ring in
+  let count = ref 0 in
+  Parallel.Token_ring.enter h;
+  for _ = 1 to 3 do
+    Parallel.Token_ring.retire h (fun () -> incr count)
+  done;
+  Parallel.Token_ring.exit h;
+  Alcotest.(check int) "receipt on every enter" 1 (Parallel.Token_ring.receipts h);
+  (* enter 2 rotates the bag to prev; enter 3 splices it freeable; the
+     amortized drain then runs one callback per subsequent enter. *)
+  Parallel.Token_ring.enter h;
+  Parallel.Token_ring.exit h;
+  Alcotest.(check int) "still in grace" 0 !count;
+  let cycles = ref 0 in
+  while !count < 3 && !cycles < 10 do
+    incr cycles;
+    Parallel.Token_ring.enter h;
+    Parallel.Token_ring.exit h
+  done;
+  Alcotest.(check int) "all released" 3 !count;
+  Alcotest.(check bool) "drained one per op, not all at once" true (!cycles >= 3);
+  Alcotest.(check int) "receipts kept counting" (2 + !cycles) (Parallel.Token_ring.receipts h);
+  Alcotest.(check int) "nothing pending" 0 (Parallel.Token_ring.pending h)
 
 let test_ms_queue_sequential () =
   let q = Parallel.Ms_queue.create () in
@@ -316,7 +483,13 @@ let suite =
       Helpers.quick "ebr_single_domain_protocol" test_ebr_single_domain_protocol;
       Helpers.quick "ebr_amortized_drains" test_ebr_amortized_drains;
       Helpers.quick "ebr_two_handles_interleaved" test_ebr_two_handles_interleaved;
+      Helpers.quick "ebr_amortized_k0_never_drains" test_ebr_amortized_k0_never_drains;
+      Helpers.quick "ebr_amortized_k_exceeds_bag" test_ebr_amortized_k_exceeds_bag;
+      Helpers.quick "ebr_amortized_pending_monotone_drain" test_ebr_amortized_pending_monotone_drain;
+      Helpers.quick "ebr_retire_during_stalled_read" test_ebr_retire_during_stalled_read;
       Helpers.quick "token_single_domain" test_token_single_domain;
+      Helpers.quick "token_ring_wraparound" test_token_ring_wraparound;
+      Helpers.quick "token_ring_one_participant" test_token_ring_one_participant;
       Alcotest.test_case "stress_ebr_2_domains" `Quick (stress_ebr ~domains:2 ~ops:20_000);
       Alcotest.test_case "stress_ebr_4_domains" `Quick (stress_ebr ~domains:4 ~ops:10_000);
       Alcotest.test_case "stress_token_4_domains" `Quick (stress_token ~domains:4 ~ops:10_000);

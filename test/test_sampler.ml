@@ -82,6 +82,81 @@ let test_chi_squared_vs_reference () =
   if !two_sample > 400. then
     Alcotest.failf "alias vs binary-search two-sample chi2 %.1f > 400" !two_sample
 
+let test_theta_zero_uniform_limit () =
+  (* theta=0 collapses Zipf to the uniform distribution: the table must
+     encode exactly 1/n per rank, and fixed-seed draws from both the alias
+     table and the reference CDF sampler must fit it. *)
+  let n = 64 and draws = 100_000 in
+  let table = Runtime.Sampler.build ~key_range:n ~theta:0.0 in
+  Array.iteri
+    (fun r p ->
+      if Float.abs (p -. (1. /. float_of_int n)) > 1e-9 then
+        Alcotest.failf "theta=0 rank %d: pmf %.12f, uniform is %.12f" r p (1. /. float_of_int n))
+    (Runtime.Sampler.pmf table);
+  let probs = exact_pmf ~key_range:n ~theta:0.0 in
+  let alias_counts = draw_counts ~n ~draws (Runtime.Sampler.sample table) (Rng.create 17) in
+  let ref_counts =
+    draw_counts ~n ~draws (Runtime.Sampler.reference ~key_range:n ~theta:0.0) (Rng.create 19)
+  in
+  (* df = 63; 200 is far past the 99.99th percentile. *)
+  let alias_stat = chi_squared alias_counts probs draws in
+  let ref_stat = chi_squared ref_counts probs draws in
+  if alias_stat > 200. then Alcotest.failf "theta=0 alias chi2 %.1f > 200 (df=63)" alias_stat;
+  if ref_stat > 200. then Alcotest.failf "theta=0 reference chi2 %.1f > 200 (df=63)" ref_stat
+
+let test_theta_heavy_skew_vs_reference () =
+  (* theta=2: heavy skew (rank 0 takes ~60% of the mass). The alias table
+     must still match the exact pmf, fit the reference CDF sampler, and
+     keep every draw in range despite the tiny tail probabilities. *)
+  let n = 64 and theta = 2.0 and draws = 100_000 in
+  let probs = exact_pmf ~key_range:n ~theta in
+  let table = Runtime.Sampler.build ~key_range:n ~theta in
+  Array.iteri
+    (fun r p ->
+      if Float.abs (p -. probs.(r)) > 1e-9 then
+        Alcotest.failf "theta=2 rank %d: table pmf %.12f, exact %.12f" r p probs.(r))
+    (Runtime.Sampler.pmf table);
+  let alias_counts = draw_counts ~n ~draws (Runtime.Sampler.sample table) (Rng.create 23) in
+  let ref_counts =
+    draw_counts ~n ~draws (Runtime.Sampler.reference ~key_range:n ~theta) (Rng.create 29)
+  in
+  (* Pool ranks whose expected count is below 10 into one tail cell so the
+     chi-squared approximation stays valid under the extreme skew. *)
+  let pooled counts =
+    let cells = ref [] and tail_obs = ref 0 and tail_exp = ref 0. in
+    Array.iteri
+      (fun r c ->
+        let e = probs.(r) *. float_of_int draws in
+        if e >= 10. then cells := (float_of_int c, e) :: !cells
+        else begin
+          tail_obs := !tail_obs + c;
+          tail_exp := !tail_exp +. e
+        end)
+      counts;
+    if !tail_exp > 0. then cells := (float_of_int !tail_obs, !tail_exp) :: !cells;
+    !cells
+  in
+  let stat cells =
+    List.fold_left (fun acc (o, e) -> acc +. (((o -. e) ** 2.) /. e)) 0. cells
+  in
+  let alias_stat = stat (pooled alias_counts) in
+  let ref_stat = stat (pooled ref_counts) in
+  if alias_stat > 200. then Alcotest.failf "theta=2 alias chi2 %.1f > 200" alias_stat;
+  if ref_stat > 200. then Alcotest.failf "theta=2 reference chi2 %.1f > 200" ref_stat;
+  (* Two-sample agreement between the samplers themselves. *)
+  let two_sample = ref 0. in
+  Array.iteri
+    (fun r a ->
+      let b = ref_counts.(r) in
+      if a + b > 0 then
+        two_sample := !two_sample +. (float_of_int ((a - b) * (a - b)) /. float_of_int (a + b)))
+    alias_counts;
+  if !two_sample > 200. then
+    Alcotest.failf "theta=2 alias vs reference two-sample chi2 %.1f > 200" !two_sample;
+  (* Skew sanity: under theta=2 over 64 ranks, rank 0 holds ~61%. *)
+  Alcotest.(check bool) "rank 0 dominates" true
+    (alias_counts.(0) > draws / 2 && ref_counts.(0) > draws / 2)
+
 let test_hot_ranks_dominate () =
   (* Sanity on skew: under theta=0.99 rank 0 must be sampled roughly
      key_range/2 times more often than the coldest ranks. *)
@@ -157,6 +232,8 @@ let suite =
       Helpers.quick "table_pmf_exact" test_table_pmf_exact;
       Helpers.quick "sample_in_range" test_sample_in_range;
       Helpers.quick "chi_squared_vs_reference" test_chi_squared_vs_reference;
+      Helpers.quick "theta_zero_uniform_limit" test_theta_zero_uniform_limit;
+      Helpers.quick "theta_heavy_skew_vs_reference" test_theta_heavy_skew_vs_reference;
       Helpers.quick "hot_ranks_dominate" test_hot_ranks_dominate;
       Helpers.quick "build_once_per_distribution" test_build_once_per_distribution;
       Helpers.quick "build_once_across_trials" test_build_once_across_trials;
