@@ -1,6 +1,6 @@
-.PHONY: all build test bench bench-quick bench-smoke examples regress regress-exact \
-	regress-perf regress-bless simcheck-smoke simcheck-selftest fmt fmt-check deps \
-	deps-fmt clean
+.PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-diff examples \
+	regress regress-exact regress-perf regress-bless simcheck-smoke simcheck-selftest \
+	fmt fmt-check deps deps-fmt clean
 
 all: build
 
@@ -21,6 +21,22 @@ bench-quick:
 # 40-minute cost.
 bench-smoke:
 	QUICK=1 dune exec bench/main.exe -- smoke
+
+# Host-performance trajectory: run the simbench suite (wall-clock + GC
+# self-measurements land in BENCH_simbench.json) and the Bechamel
+# micro-benchmarks of the simulator primitives (ns/run and minor words/run,
+# written to bench-micro.txt). Virtual-time results are unaffected; this
+# measures how fast the simulator itself runs on the host.
+bench-trajectory:
+	dune exec bin/simbench.exe -- run --out simbench-results.json --bench-out BENCH_simbench.json
+	dune exec bench/main.exe -- micro | tee bench-micro.txt
+
+# Advisory wall-clock comparison against a previous trajectory (e.g. a
+# cached BENCH file from the last CI run). Never fails: wall times on
+# shared runners are noise, the trajectory is for reading, not gating.
+PREV_BENCH ?= BENCH_simbench.prev.json
+bench-diff:
+	dune exec bin/simbench.exe -- bench-diff $(PREV_BENCH) BENCH_simbench.json
 
 # Regression harness: run the simbench suite against the golden baselines
 # under regress/baselines/. `regress` applies both gates; the -exact and

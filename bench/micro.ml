@@ -70,22 +70,43 @@ let test_smr_cycle =
               smr.Smr.Smr_intf.end_op th
             done)))
 
+(* The grouping primitive on its own: the per-flush work that used to build
+   a tuple array, sort it polymorphically and cons up run lists, and is now
+   a sort of packed ints in reused scratch. Measured with the minor-words
+   instance alongside time, since the point of the rewrite is that this is
+   allocation-free. *)
+let test_grouper =
+  let table = Alloc.Obj_table.create () in
+  let v = Simcore.Vec.create () in
+  (* 256 handles spread over 16 homes, interleaved like a real flush batch. *)
+  for i = 0 to 255 do
+    Simcore.Vec.push v (Alloc.Obj_table.fresh table ~size_class:0 ~home:(i mod 16))
+  done;
+  let g = Alloc.Alloc_intf.Grouper.create () in
+  Test.make ~name:"flush grouping (256 handles, 16 homes)"
+    (Staged.stage (fun () -> Alloc.Alloc_intf.Grouper.group g table v ~len:256))
+
 let run () =
   Exp.section "Micro-benchmarks (Bechamel; host-time cost of simulator primitives)";
-  let tests = [ test_alloc_free; test_batch_free; test_abtree_ops; test_smr_cycle ] in
-  let instances = Instance.[ monotonic_clock ] in
+  let tests =
+    [ test_alloc_free; test_batch_free; test_grouper; test_abtree_ops; test_smr_cycle ]
+  in
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
   let cfg = Benchmark.cfg ~limit:300 ~quota:(Time.second 0.5) ~kde:(Some 300) () in
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let estimate a = match Analyze.OLS.estimates a with Some [ e ] -> Some e | _ -> None in
   List.iter
     (fun test ->
       let results = Benchmark.all cfg instances test in
-      let analyzed =
-        Analyze.all (Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |])
-          Instance.monotonic_clock results
-      in
+      let time = Analyze.all ols Instance.monotonic_clock results in
+      let words = Analyze.all ols Instance.minor_allocated results in
       Hashtbl.iter
-        (fun name ols ->
-          match Analyze.OLS.estimates ols with
-          | Some [ est ] -> Printf.printf "  %-40s %12.1f ns/run\n%!" name est
-          | _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
-        analyzed)
+        (fun name t ->
+          let w = Option.bind (Hashtbl.find_opt words name) estimate in
+          match (estimate t, w) with
+          | Some ns, Some w ->
+              Printf.printf "  %-40s %12.1f ns/run %14.1f minor words/run\n%!" name ns w
+          | Some ns, None -> Printf.printf "  %-40s %12.1f ns/run\n%!" name ns
+          | None, _ -> Printf.printf "  %-40s (no estimate)\n%!" name)
+        time)
     tests

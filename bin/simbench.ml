@@ -66,29 +66,53 @@ let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_job
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
 
-(* Wall-clock self-measurement. Virtual-time results are deterministic;
-   wall_ns is the one deliberately non-deterministic output, which is why
-   it goes to a separate file (--bench-out) and never into the canonical
-   results JSON the exact gate compares. *)
+(* Wall-clock and GC self-measurement. Virtual-time results are
+   deterministic; wall_ns and the allocation counters are the deliberately
+   non-deterministic outputs, which is why they go to a separate file
+   (--bench-out) and never into the canonical results JSON the exact gate
+   compares. Gc counters are per-domain in OCaml 5, and each entry's
+   closure runs inside its worker domain, so per-entry minor/promoted
+   words are attributed correctly even under --jobs parallelism. *)
 let now_ns () = Int64.of_float (Unix.gettimeofday () *. 1e9)
 
+type measure = { wall_ns : int; minor_words : float; promoted_words : float }
+
 let timed f =
+  (* [Gc.minor_words ()] reads the allocation pointer and is precise;
+     [quick_stat]'s minor counter only refreshes at minor collections.
+     Promotion happens exactly at minor collections, so [quick_stat] is
+     accurate for promoted_words by construction. *)
+  let m0 = Gc.minor_words () in
+  let s0 = Gc.quick_stat () in
   let t0 = now_ns () in
   let r = f () in
-  (r, Int64.to_int (Int64.sub (now_ns ()) t0))
+  let wall_ns = Int64.to_int (Int64.sub (now_ns ()) t0) in
+  let s1 = Gc.quick_stat () in
+  ( r,
+    {
+      wall_ns;
+      minor_words = Gc.minor_words () -. m0;
+      promoted_words = s1.Gc.promoted_words -. s0.Gc.promoted_words;
+    } )
 
 let bench_json ~suite_label ~jobs ~total_wall_ns timings =
   Json.Assoc
     [
-      ("schema_version", Json.Int 1);
+      ("schema_version", Json.Int 2);
       ("suite", Json.String suite_label);
       ("jobs", Json.Int jobs);
       ("total_wall_ns", Json.Int total_wall_ns);
       ( "entries",
         Json.List
           (List.map
-             (fun (id, wall_ns) ->
-               Json.Assoc [ ("id", Json.String id); ("wall_ns", Json.Int wall_ns) ])
+             (fun (id, m) ->
+               Json.Assoc
+                 [
+                   ("id", Json.String id);
+                   ("wall_ns", Json.Int m.wall_ns);
+                   ("minor_words", Json.Int (int_of_float m.minor_words));
+                   ("promoted_words", Json.Int (int_of_float m.promoted_words));
+                 ])
              timings) );
     ]
 
@@ -162,7 +186,7 @@ let summary_table results =
    submission order, so results (and every file derived from them) are
    byte-identical whatever the parallelism; only the wall_ns timings vary. *)
 let run_suite ~jobs entries =
-  let (results, timings), total_wall_ns =
+  let (results, timings), total =
     timed (fun () ->
         let timed_results =
           Runtime.Pool.map ~jobs
@@ -174,10 +198,10 @@ let run_suite ~jobs entries =
         in
         ( List.map fst timed_results,
           List.map2
-            (fun (e : Regress.Suite.entry) (_, wall_ns) -> (e.Regress.Suite.id, wall_ns))
+            (fun (e : Regress.Suite.entry) (_, m) -> (e.Regress.Suite.id, m))
             entries timed_results ))
   in
-  (results, timings, total_wall_ns)
+  (results, timings, total.wall_ns)
 
 let run_cmd =
   let run suite out bench_out jobs =
@@ -271,6 +295,78 @@ let bless_cmd =
     (Cmd.info "bless" ~doc:"Regenerate the golden baselines (with multi-seed tolerances).")
     Term.(const run $ suite_arg $ baselines_arg $ seeds_arg $ jobs_arg)
 
+(* Advisory wall-clock trajectory comparison. Wall times on shared CI
+   runners are noisy, so this never fails the build: it renders the
+   per-entry movement between two --bench-out files and always exits 0.
+   A missing previous file (first run, cold cache) is not an error. *)
+let bench_diff_cmd =
+  let prev_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"PREV" ~doc:"Previous --bench-out file (e.g. restored from cache).")
+  in
+  let cur_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"CUR" ~doc:"Current --bench-out file.")
+  in
+  let load path =
+    let s = In_channel.with_open_bin path In_channel.input_all in
+    match Json.parse s with
+    | Ok j -> j
+    | Error msg -> die "simbench: %s: %s" path msg
+  in
+  let entries j =
+    List.map
+      (fun e ->
+        let opt name = match Json.member name e with Json.Null -> None | v -> Some (Json.to_int v) in
+        ( Json.to_string (Json.member "id" e),
+          (Json.to_int (Json.member "wall_ns" e), opt "minor_words") ))
+      (Json.to_list (Json.member "entries" j))
+  in
+  let ms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6) in
+  let run prev cur =
+    if not (Sys.file_exists cur) then die "simbench: %s does not exist" cur;
+    if not (Sys.file_exists prev) then
+      Printf.printf
+        "bench-diff: no previous measurements at %s; nothing to compare (first run?)\n" prev
+    else begin
+      let pj = load prev and cj = load cur in
+      let pe = entries pj in
+      let table =
+        Report.Table.create [ "entry"; "prev ms"; "cur ms"; "ratio"; "minor words"; "" ]
+      in
+      List.iter
+        (fun (id, ((cur_ns, cur_words) : int * int option)) ->
+          match List.assoc_opt id pe with
+          | None -> Report.Table.add_row table [ id; "-"; ms cur_ns; "-"; "-"; "new entry" ]
+          | Some (prev_ns, prev_words) ->
+              let ratio = float_of_int cur_ns /. float_of_int (max 1 prev_ns) in
+              let words =
+                match (prev_words, cur_words) with
+                | Some p, Some c -> Printf.sprintf "%d -> %d" p c
+                | _ -> "-"
+              in
+              let note =
+                if ratio > 1.25 then "slower" else if ratio < 0.80 then "faster" else ""
+              in
+              Report.Table.add_row table
+                [ id; ms prev_ns; ms cur_ns; Printf.sprintf "%.2fx" ratio; words; note ])
+        (entries cj);
+      print_string (Report.Table.render table);
+      let total j = Json.to_int (Json.member "total_wall_ns" j) in
+      Printf.printf "total: %s ms -> %s ms (%.2fx)\n" (ms (total pj)) (ms (total cj))
+        (float_of_int (total cj) /. float_of_int (max 1 (total pj)));
+      print_endline "bench-diff is advisory: wall-clock movement never gates."
+    end
+  in
+  Cmd.v
+    (Cmd.info "bench-diff"
+       ~doc:"Advisory wall-clock comparison of two --bench-out files (always exits 0).")
+    Term.(const run $ prev_arg $ cur_arg)
+
 let list_cmd =
   let run suite =
     let entries, suite_label = load_suite suite in
@@ -305,4 +401,6 @@ let manifest_cmd =
 let () =
   let doc = "Deterministic regression harness: golden baselines and perf gates" in
   let info = Cmd.info "simbench" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; check_cmd; bless_cmd; list_cmd; manifest_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info [ run_cmd; check_cmd; bless_cmd; bench_diff_cmd; list_cmd; manifest_cmd ]))

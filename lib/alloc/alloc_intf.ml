@@ -59,25 +59,139 @@ let instrument ~name ~table ~raw_malloc ~raw_free ~cached_objects =
   in
   { name; table; malloc; free; cached_objects }
 
-(* Sort a batch of handles by their home bin (stable on insertion order), so
-   flushes visit each bin once and the simulation is deterministic. Returns
-   runs of (home, handles). *)
-let group_by_home table batch =
-  let n = Array.length batch in
-  let keyed = Array.mapi (fun i h -> (Obj_table.home table h, i, h)) batch in
-  Array.sort
-    (fun (a, i, _) (b, j, _) -> if a <> b then compare a b else compare i j)
-    keyed;
-  let runs = ref [] in
-  let i = ref 0 in
-  while !i < n do
-    let home, _, _ = keyed.(!i) in
-    let objs = ref [] in
-    while !i < n && (let h, _, _ = keyed.(!i) in h) = home do
-      let _, _, o = keyed.(!i) in
-      objs := o :: !objs;
-      incr i
+(* Flush-batch grouping: sort a batch of handles by their home bin (stable
+   on insertion order), so flushes visit each bin once and the simulation is
+   deterministic.
+
+   This sits on the hottest host-time path of the whole simulator — one call
+   per cache flush, millions per sweep — so it allocates nothing on the
+   OCaml heap: each allocator owns one [Grouper.t] whose scratch arrays are
+   reused across flushes (growing geometrically, like a Vec). Each handle is
+   keyed as the int-packed [(home lsl shift) lor index]; because every key
+   is distinct, an unstable in-place sort of the keys yields exactly the
+   (home asc, insertion order asc) order the old tuple sort produced, and
+   runs fall out as [(home, start, len)] slices over the sorted scratch. *)
+module Grouper = struct
+  type t = {
+    mutable keys : int array;  (* packed (home lsl shift) lor index *)
+    mutable stage : int array;  (* the batch's handles, insertion order *)
+    mutable sorted : int array;  (* handles in (home, insertion) order *)
+    mutable homes : int array;  (* home of [sorted.(i)] *)
+    mutable n : int;
+  }
+
+  let create () =
+    { keys = Array.make 64 0; stage = Array.make 64 0; sorted = Array.make 64 0;
+      homes = Array.make 64 0; n = 0 }
+
+  let ensure t n =
+    if n > Array.length t.keys then begin
+      let cap = ref (Array.length t.keys) in
+      while !cap < n do
+        cap := !cap * 2
+      done;
+      t.keys <- Array.make !cap 0;
+      t.stage <- Array.make !cap 0;
+      t.sorted <- Array.make !cap 0;
+      t.homes <- Array.make !cap 0
+    end
+
+  (* In-place heapsort of [a.(0 .. n-1)]: O(n log n) int comparisons, no
+     allocation, and — the keys being distinct — a deterministic total
+     order. Stdlib's [Array.sort] would sort the scratch tail too. Unsafe
+     accesses are in range by the heap shape: every index is in
+     [0, last] ⊆ [0, n-1]. *)
+  let sort_prefix a n =
+    let sift root last =
+      let r = ref root in
+      let continue_ = ref true in
+      while !continue_ do
+        let child = (2 * !r) + 1 in
+        if child > last then continue_ := false
+        else begin
+          let child =
+            if child < last && Array.unsafe_get a child < Array.unsafe_get a (child + 1) then
+              child + 1
+            else child
+          in
+          let rv = Array.unsafe_get a !r and cv = Array.unsafe_get a child in
+          if rv < cv then begin
+            Array.unsafe_set a !r cv;
+            Array.unsafe_set a child rv;
+            r := child
+          end
+          else continue_ := false
+        end
+      done
+    in
+    for i = (n / 2) - 1 downto 0 do
+      sift i (n - 1)
     done;
-    runs := (home, List.rev !objs) :: !runs
-  done;
-  List.rev !runs
+    for last = n - 1 downto 1 do
+      let tmp = Array.unsafe_get a 0 in
+      Array.unsafe_set a 0 (Array.unsafe_get a last);
+      Array.unsafe_set a last tmp;
+      sift 0 (last - 1)
+    done
+
+  (* Group the first [len] handles of [v] by home. After the call the
+     grouped order is exposed via [handle]/[home_at]; the caller typically
+     follows with [Vec.drop_front v len]. *)
+  let group t table v ~len =
+    if len < 0 || len > Vec.length v then invalid_arg "Grouper.group: bad length";
+    ensure t len;
+    t.n <- len;
+    if len > 0 then begin
+      let shift = ref 0 in
+      while 1 lsl !shift < len do
+        incr shift
+      done;
+      let shift = !shift in
+      (* Unsafe scratch accesses: [ensure] guaranteed capacity >= len, and
+         every index below is < len. *)
+      let max_home = ref 0 in
+      let stage = t.stage and keys = t.keys in
+      for i = 0 to len - 1 do
+        let h = Vec.unsafe_get v i in
+        let home = Obj_table.home table h in
+        if home > !max_home then max_home := home;
+        Array.unsafe_set stage i h;
+        Array.unsafe_set keys i ((home lsl shift) lor i)
+      done;
+      if !max_home > max_int lsr shift then
+        invalid_arg "Grouper.group: home too large to pack";
+      sort_prefix keys len;
+      let mask = (1 lsl shift) - 1 in
+      let homes = t.homes and sorted = t.sorted in
+      for i = 0 to len - 1 do
+        let key = Array.unsafe_get keys i in
+        Array.unsafe_set homes i (key lsr shift);
+        Array.unsafe_set sorted i (Array.unsafe_get stage (key land mask))
+      done
+    end
+
+  let length t = t.n
+
+  let handle t i =
+    if i < 0 || i >= t.n then invalid_arg "Grouper.handle: out of bounds";
+    t.sorted.(i)
+
+  let home_at t i =
+    if i < 0 || i >= t.n then invalid_arg "Grouper.home_at: out of bounds";
+    t.homes.(i)
+
+  (* Convenience iteration over the [(home, start, len)] runs. Hot flush
+     paths iterate with [home_at]/[handle] directly instead, so they do not
+     even allocate the closure. *)
+  let iter_runs t f =
+    let i = ref 0 in
+    while !i < t.n do
+      let home = t.homes.(!i) in
+      let start = !i in
+      incr i;
+      while !i < t.n && t.homes.(!i) = home do
+        incr i
+      done;
+      f ~home ~start ~len:(!i - start)
+    done
+end

@@ -37,6 +37,32 @@ val instrument :
     maintenance, alloc/free counters, inclusive free timing, histogram and
     hook reporting. *)
 
-val group_by_home : Obj_table.t -> int array -> (int * int list) list
-(** Sort a batch of handles by home bin (stable), as runs of
-    [(home, handles)] — the order a flush visits destination bins. *)
+(** Zero-allocation flush-batch grouping. A [Grouper.t] is a set of
+    per-allocator scratch buffers, reused across flushes, that sorts a batch
+    of handles by home bin (stable on insertion order) — the order a flush
+    visits destination bins — without allocating on the OCaml heap. Handles
+    are keyed as int-packed [(home lsl shift) lor index]; runs come back as
+    [(home, start, len)] slices over the sorted scratch. *)
+module Grouper : sig
+  type t
+
+  val create : unit -> t
+
+  val group : t -> Obj_table.t -> Simcore.Vec.t -> len:int -> unit
+  (** [group t table v ~len] groups the first [len] handles of [v] by home.
+      The caller typically follows with [Vec.drop_front v len].
+      @raise Invalid_argument if [len] exceeds the vector's length or a home
+      is too large to pack alongside the index. *)
+
+  val length : t -> int
+  (** Size of the most recently grouped batch. *)
+
+  val handle : t -> int -> int
+  (** [handle t i] is the [i]-th handle in (home, insertion-order) order. *)
+
+  val home_at : t -> int -> int
+  (** [home_at t i] is the home bin of [handle t i]. *)
+
+  val iter_runs : t -> (home:int -> start:int -> len:int -> unit) -> unit
+  (** Iterate the maximal same-home runs as [(home, start, len)] slices. *)
+end

@@ -28,6 +28,9 @@ type t = {
   tcache : Vec.t array array;  (* thread -> size class *)
   pending : Vec.t array array;  (* thread -> size class: deferred evictions *)
   chunk : int;  (* objects returned per incremental drain *)
+  groupers : Alloc_intf.Grouper.t array;
+      (* per-thread reusable drain-batch scratch: a drain yields at each
+         bin lock, so concurrent drains must not share scratch buffers *)
 }
 
 let arena_of_thread _t tid = tid
@@ -52,6 +55,7 @@ let create ?(config = Alloc_intf.default_config) sched =
     tcache = Array.init n (fun _ -> Array.init Size_class.count (fun _ -> Vec.create ()));
     pending = Array.init n (fun _ -> Array.init Size_class.count (fun _ -> Vec.create ()));
     chunk = 8;
+    groupers = Array.init n (fun _ -> Alloc_intf.Grouper.create ());
   }
 
 (* Return up to [chunk] deferred objects to their owner bins. Unlike the
@@ -60,23 +64,31 @@ let drain_pending t (th : Sched.thread) cls =
   let pending = t.pending.(th.Sched.tid).(cls) in
   if not (Vec.is_empty pending) then begin
     th.Sched.in_flush <- true;
-    let batch = Vec.take_front pending (min t.chunk (Vec.length pending)) in
-    let runs = Alloc_intf.group_by_home t.table batch in
-    List.iter
-      (fun (home, objs) ->
-        let arena = arena_of_bin home in
-        let bin = t.bins.(arena).(cls) in
-        Sim_mutex.lock bin.lock th;
-        List.iter
-          (fun h ->
-            Sched.work th Metrics.Flush t.cost.Cost_model.flush_per_object;
-            Vec.push bin.freelist h;
-            if arena <> arena_of_thread t th.Sched.tid then
-              th.Sched.metrics.Metrics.remote_frees <-
-                th.Sched.metrics.Metrics.remote_frees + 1)
-          objs;
-        Sim_mutex.unlock bin.lock th)
-      runs;
+    let n_drain = min t.chunk (Vec.length pending) in
+    let g = t.groupers.(th.Sched.tid) in
+    Alloc_intf.Grouper.group g t.table pending ~len:n_drain;
+    Vec.drop_front pending n_drain;
+    let my_arena = arena_of_thread t th.Sched.tid in
+    let i = ref 0 in
+    while !i < n_drain do
+      let home = Alloc_intf.Grouper.home_at g !i in
+      let start = !i in
+      incr i;
+      while !i < n_drain && Alloc_intf.Grouper.home_at g !i = home do
+        incr i
+      done;
+      let len = !i - start in
+      let arena = arena_of_bin home in
+      let bin = t.bins.(arena).(cls) in
+      Sim_mutex.lock bin.lock th;
+      Sched.work_n th Metrics.Flush ~per:t.cost.Cost_model.flush_per_object ~count:len;
+      for j = start to start + len - 1 do
+        Vec.push bin.freelist (Alloc_intf.Grouper.handle g j)
+      done;
+      if arena <> my_arena then
+        th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + len;
+      Sim_mutex.unlock bin.lock th
+    done;
     th.Sched.in_flush <- false
   end
 
@@ -90,12 +102,13 @@ let raw_free t (th : Sched.thread) h =
     (* Incremental eviction: move one chunk to the pending buffer (cheap
        local work), then drain one chunk to the bins. *)
     th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
-    let evict = Vec.take_front tc t.chunk in
-    Array.iter
-      (fun h ->
-        Sched.work th Metrics.Alloc (t.cost.Cost_model.cache_push / 2);
-        Vec.push t.pending.(tid).(cls) h)
-      evict
+    let n_evict = min t.chunk (Vec.length tc) in
+    Sched.work_n th Metrics.Alloc ~per:(t.cost.Cost_model.cache_push / 2) ~count:n_evict;
+    let pending = t.pending.(tid).(cls) in
+    for i = 0 to n_evict - 1 do
+      Vec.push pending (Vec.get tc i)
+    done;
+    Vec.drop_front tc n_evict
   end;
   drain_pending t th cls
 
@@ -105,8 +118,8 @@ let refill t (th : Sched.thread) cls =
   (* Reuse deferred evictions first: they are local and lock-free. *)
   let pending = t.pending.(tid).(cls) in
   let from_pending = min t.config.refill_batch (Vec.length pending) in
+  Sched.work_n th Metrics.Alloc ~per:t.cost.Cost_model.cache_pop ~count:from_pending;
   for _ = 1 to from_pending do
-    Sched.work th Metrics.Alloc t.cost.Cost_model.cache_pop;
     Vec.push tc (Vec.pop pending)
   done;
   if Vec.is_empty tc then begin
@@ -114,15 +127,15 @@ let refill t (th : Sched.thread) cls =
     let bin = t.bins.(arena).(cls) in
     Sim_mutex.lock bin.lock th;
     let from_bin = min t.config.refill_batch (Vec.length bin.freelist) in
+    Sched.work_n th Metrics.Alloc ~per:t.cost.Cost_model.refill_per_object ~count:from_bin;
     for _ = 1 to from_bin do
-      Sched.work th Metrics.Alloc t.cost.Cost_model.refill_per_object;
       Vec.push tc (Vec.pop bin.freelist)
     done;
     if from_bin = 0 then begin
       let missing = t.config.refill_batch in
       let home = bin_id ~arena ~cls in
+      Sched.work_n th Metrics.Alloc ~per:t.cost.Cost_model.refill_per_object ~count:missing;
       for _ = 1 to missing do
-        Sched.work th Metrics.Alloc t.cost.Cost_model.refill_per_object;
         Vec.push tc (Obj_table.fresh t.table ~size_class:cls ~home)
       done
     end;

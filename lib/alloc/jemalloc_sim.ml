@@ -29,6 +29,9 @@ type t = {
   bins : bin array array;  (* arena -> size class -> bin *)
   tcache : Vec.t array array;  (* thread -> size class -> handles *)
   flush_keep : int;  (* objects kept in the tcache after a flush *)
+  groupers : Alloc_intf.Grouper.t array;
+      (* per-thread reusable flush-batch scratch: a flush yields at each
+         bin lock, so concurrent flushes must not share scratch buffers *)
 }
 
 let bin_id _t ~arena ~cls = (arena * Size_class.count) + cls
@@ -58,6 +61,7 @@ let create ?(config = Alloc_intf.default_config) sched =
       bins = Array.init narenas (fun a -> Array.init Size_class.count (mk_bin a));
       tcache = Array.init n (fun _ -> Array.init Size_class.count (fun _ -> Vec.create ()));
       flush_keep = max 1 (int_of_float (float_of_int config.tcache_cap *. (1. -. config.flush_fraction)));
+      groupers = Array.init n (fun _ -> Alloc_intf.Grouper.create ());
     }
   in
   t
@@ -72,33 +76,41 @@ let flush t (th : Sched.thread) cls =
   if n_flush > 0 then begin
     th.Sched.in_flush <- true;
     th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
-    let batch = Vec.take_front tc n_flush in
+    let g = t.groupers.(th.Sched.tid) in
+    Alloc_intf.Grouper.group g t.table tc ~len:n_flush;
+    Vec.drop_front tc n_flush;
     let my_arena = arena_of_thread t th.Sched.tid in
-    let runs = Alloc_intf.group_by_home t.table batch in
     (* JEmalloc's je_tcache_bin_flush_small visits one destination bin at a
        time and, while holding that bin's lock, iterates over the whole
        remaining buffer to pick out the objects belonging to it. The work
        under each lock is therefore proportional to the *entire* batch, not
        just that bin's share — the quadratic behaviour that turns a large
-       batch free into a milliseconds-long call once bins are contended. *)
-    let remaining = ref (Array.length batch) in
-    List.iter
-      (fun (home, objs) ->
-        let arena = arena_of_bin t home in
-        let bin = t.bins.(arena).(cls) in
-        Sim_mutex.lock bin.lock th;
-        Sched.work th Metrics.Flush (!remaining * t.cost.Cost_model.flush_scan_per_object);
-        List.iter
-          (fun h ->
-            Sched.work th Metrics.Flush t.cost.Cost_model.flush_per_object;
-            Vec.push bin.freelist h;
-            if arena <> my_arena then
-              th.Sched.metrics.Metrics.remote_frees <-
-                th.Sched.metrics.Metrics.remote_frees + 1)
-          objs;
-        Sim_mutex.unlock bin.lock th;
-        remaining := !remaining - List.length objs)
-      runs;
+       batch free into a milliseconds-long call once bins are contended.
+       (The quadratic cost is charged in virtual time; the host-time loop
+       below is linear and allocation-free.) *)
+    let remaining = ref n_flush in
+    let i = ref 0 in
+    while !i < n_flush do
+      let home = Alloc_intf.Grouper.home_at g !i in
+      let start = !i in
+      incr i;
+      while !i < n_flush && Alloc_intf.Grouper.home_at g !i = home do
+        incr i
+      done;
+      let len = !i - start in
+      let arena = arena_of_bin t home in
+      let bin = t.bins.(arena).(cls) in
+      Sim_mutex.lock bin.lock th;
+      Sched.work th Metrics.Flush (!remaining * t.cost.Cost_model.flush_scan_per_object);
+      Sched.work_n th Metrics.Flush ~per:t.cost.Cost_model.flush_per_object ~count:len;
+      for j = start to start + len - 1 do
+        Vec.push bin.freelist (Alloc_intf.Grouper.handle g j)
+      done;
+      if arena <> my_arena then
+        th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + len;
+      Sim_mutex.unlock bin.lock th;
+      remaining := !remaining - len
+    done;
     th.Sched.in_flush <- false
   end
 
@@ -118,8 +130,8 @@ let refill t (th : Sched.thread) cls =
   let bin = t.bins.(arena).(cls) in
   Sim_mutex.lock bin.lock th;
   let from_bin = min t.config.refill_batch (Vec.length bin.freelist) in
+  Sched.work_n th Metrics.Alloc ~per:t.cost.Cost_model.refill_per_object ~count:from_bin;
   for _ = 1 to from_bin do
-    Sched.work th Metrics.Alloc t.cost.Cost_model.refill_per_object;
     Vec.push tc (Vec.pop bin.freelist)
   done;
   (* Fresh pages only when the bin had nothing to offer. *)
@@ -128,8 +140,8 @@ let refill t (th : Sched.thread) cls =
     (* Bump-allocate fresh objects into the cache; page faults and first
        touches are charged after release, where they really occur. *)
     let home = bin_id t ~arena ~cls in
+    Sched.work_n th Metrics.Alloc ~per:t.cost.Cost_model.refill_per_object ~count:missing;
     for _ = 1 to missing do
-      Sched.work th Metrics.Alloc t.cost.Cost_model.refill_per_object;
       Vec.push tc (Obj_table.fresh t.table ~size_class:cls ~home)
     done
   end;

@@ -61,15 +61,17 @@ let flush t (th : Sched.thread) cls =
   if n_flush > 0 then begin
     th.Sched.in_flush <- true;
     th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
-    let batch = Vec.take_front tc n_flush in
     let central = t.central.(cls) in
     Sim_mutex.lock central.lock th;
-    Sched.work th Metrics.Flush (splice_fixed + (Array.length batch * splice_per_object));
-    Array.iter
-      (fun h ->
-        Vec.push central.freelist h;
-        th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + 1)
-      batch;
+    Sched.work th Metrics.Flush (splice_fixed + (n_flush * splice_per_object));
+    (* Splice the evicted prefix straight from the tcache: no intermediate
+       batch array. Only this thread touches its own tcache, so the prefix
+       is stable across the lock wait. *)
+    for i = 0 to n_flush - 1 do
+      Vec.push central.freelist (Vec.get tc i)
+    done;
+    Vec.drop_front tc n_flush;
+    th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + n_flush;
     Sim_mutex.unlock central.lock th;
     th.Sched.in_flush <- false
   end

@@ -37,11 +37,12 @@ type t = { ctx : Smr_intf.ctx; spec : spec; states : thread_state array }
 let reclamation_pass t (th : Sched.thread) st =
   let n = Sched.n_threads t.ctx.Smr_intf.sched in
   let cost = Sched.cost t.ctx.Smr_intf.sched in
-  (* Pay for the pass: slot scans and signals. *)
+  (* Pay for the pass: slot scans and signals, charged per-slot/per-signal
+     in one O(1) step. *)
   let slots = t.spec.slots_per_pass ~n in
-  if slots > 0 then Sched.work th Metrics.Smr (slots * cost.Cost_model.read_slot);
+  Sched.work_n th Metrics.Smr ~per:cost.Cost_model.read_slot ~count:slots;
   let signals = t.spec.signals_per_pass ~n in
-  if signals > 0 then Sched.work th Metrics.Smr (signals * cost.Cost_model.signal);
+  Sched.work_n th Metrics.Smr ~per:cost.Cost_model.signal ~count:signals;
   th.Sched.metrics.Metrics.epochs <- th.Sched.metrics.Metrics.epochs + 1;
   th.Sched.hooks.Sched.on_epoch_advance ~time:(Sched.now th)
     ~epoch:th.Sched.metrics.Metrics.epochs;

@@ -142,8 +142,25 @@ let work ?(scaled = true) th bucket ns =
   th.clock <- th.clock + ns;
   Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns
 
+(* Charge [count] objects that each cost [per] ns of CPU work. The SMT
+   scaling is applied to [per] once and the rounded result multiplied by
+   [count], so the charge is bit-identical to a [count]-iteration loop of
+   [work th bucket per] — every object in a run pays the same rounded
+   constant — while touching the clock and metrics once. This is what makes
+   flush/refill virtual-time charging O(runs) instead of O(objects). *)
+let work_n ?(scaled = true) th bucket ~per ~count =
+  if per < 0 then invalid_arg "Sched.work_n: negative cost";
+  if count < 0 then invalid_arg "Sched.work_n: negative count";
+  if count > 0 then begin
+    let per = if scaled then int_of_float (float_of_int per *. th.cpu_factor +. 0.5) else per in
+    let ns = count * per in
+    th.clock <- th.clock + ns;
+    Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns
+  end
+
 (* Advance the clock by waiting time (not CPU work: no SMT scaling). *)
 let wait th bucket ns =
+  if ns < 0 then invalid_arg "Sched.wait: negative duration";
   if ns > 0 then begin
     th.clock <- th.clock + ns;
     Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns

@@ -66,10 +66,19 @@ val n_threads : t -> int
 
 val work : ?scaled:bool -> thread -> Metrics.bucket -> int -> unit
 (** Advance the clock by CPU work (SMT-scaled unless [scaled:false]) and
-    attribute it. Does not yield. *)
+    attribute it. Does not yield.
+    @raise Invalid_argument on a negative cost. *)
+
+val work_n : ?scaled:bool -> thread -> Metrics.bucket -> per:int -> count:int -> unit
+(** [work_n th bucket ~per ~count] charges [count] objects of [per] ns each
+    in one step: the SMT scaling rounds [per] once and the result is
+    multiplied by [count], so the charge is bit-identical to a
+    [count]-iteration loop of {!work} while costing O(1) host time.
+    @raise Invalid_argument on a negative cost or count. *)
 
 val wait : thread -> Metrics.bucket -> int -> unit
-(** Advance the clock by waiting time (never SMT-scaled). *)
+(** Advance the clock by waiting time (never SMT-scaled).
+    @raise Invalid_argument on a negative duration. *)
 
 val now : thread -> int
 

@@ -89,6 +89,14 @@ let take_front v n =
   v.len <- v.len - n;
   out
 
+(* Drop the first [n] elements (or fewer) in place: the allocation-free
+   sibling of [take_front] for callers that have already consumed the
+   prefix via [get]/[unsafe_get]. *)
+let drop_front v n =
+  let n = min n v.len in
+  Array.blit v.data n v.data 0 (v.len - n);
+  v.len <- v.len - n
+
 module Poly = struct
   type 'a t = { mutable data : 'a array; mutable len : int; dummy : 'a }
 

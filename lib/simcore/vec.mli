@@ -56,6 +56,11 @@ val take_front : t -> int -> int array
     the vector is shorter), oldest first — the eviction order of allocator
     cache flushes. *)
 
+val drop_front : t -> int -> unit
+(** [drop_front v n] removes the first [n] elements (fewer if the vector is
+    shorter) in place, allocating nothing: the hot-path sibling of
+    {!take_front} for callers that read the prefix via {!get} first. *)
+
 (** Polymorphic growable vectors. A [dummy] element backs unused slots so
     cleared entries do not retain heap objects. *)
 module Poly : sig

@@ -1,0 +1,161 @@
+(* Tests for the zero-allocation flush/refill hot path: the slice-based
+   batch grouper and end-to-end digest stability of every allocator model
+   across the optimization. *)
+
+open Simcore
+module Grouper = Alloc.Alloc_intf.Grouper
+
+(* Build a table + vec of fresh handles with the given home sequence. *)
+let make_batch homes =
+  let table = Alloc.Obj_table.create () in
+  let v = Vec.create () in
+  List.iter
+    (fun home -> Vec.push v (Alloc.Obj_table.fresh table ~size_class:0 ~home))
+    homes;
+  (table, v)
+
+let runs_of g =
+  let out = ref [] in
+  Grouper.iter_runs g (fun ~home ~start ~len -> out := (home, start, len) :: !out);
+  List.rev !out
+
+let grouped g =
+  List.init (Grouper.length g) (fun i -> (Grouper.home_at g i, Grouper.handle g i))
+
+let test_group_empty () =
+  let table, v = make_batch [] in
+  let g = Grouper.create () in
+  Grouper.group g table v ~len:0;
+  Alcotest.(check int) "length" 0 (Grouper.length g);
+  Alcotest.(check (list (triple int int int))) "no runs" [] (runs_of g)
+
+let test_group_single_home () =
+  let table, v = make_batch [ 7; 7; 7; 7 ] in
+  let g = Grouper.create () in
+  Grouper.group g table v ~len:4;
+  Alcotest.(check (list (triple int int int))) "one run" [ (7, 0, 4) ] (runs_of g);
+  Alcotest.(check (list int)) "insertion order kept" (Vec.to_list v)
+    (List.map snd (grouped g))
+
+let test_group_all_distinct () =
+  let table, v = make_batch [ 3; 1; 2; 0 ] in
+  let g = Grouper.create () in
+  Grouper.group g table v ~len:4;
+  Alcotest.(check (list (triple int int int)))
+    "one run per home, home-ascending"
+    [ (0, 0, 1); (1, 1, 1); (2, 2, 1); (3, 3, 1) ]
+    (runs_of g);
+  let by_home home = Alloc.Obj_table.home table (Grouper.handle g home) in
+  Alcotest.(check (list int)) "handles follow run homes" [ 0; 1; 2; 3 ]
+    (List.init 4 by_home)
+
+let test_group_stable_within_home () =
+  let table, v = make_batch [ 2; 1; 2; 1; 2 ] in
+  let g = Grouper.create () in
+  Grouper.group g table v ~len:5;
+  Alcotest.(check (list (triple int int int)))
+    "runs" [ (1, 0, 2); (2, 2, 3) ] (runs_of g);
+  (* Within each home, handles must appear in insertion order — the stable
+     sort the old tuple-array grouping provided. *)
+  let expect =
+    List.stable_sort
+      (fun (a, _) (b, _) -> compare (a : int) b)
+      (List.map (fun h -> (Alloc.Obj_table.home table h, h)) (Vec.to_list v))
+  in
+  Alcotest.(check (list (pair int int))) "stable by insertion" expect (grouped g)
+
+let test_group_prefix_only () =
+  let table, v = make_batch [ 5; 4; 5; 4 ] in
+  let g = Grouper.create () in
+  Grouper.group g table v ~len:2;
+  Alcotest.(check (list (triple int int int)))
+    "only the prefix is grouped" [ (4, 0, 1); (5, 1, 1) ] (runs_of g);
+  Alcotest.(check int) "source vec untouched" 4 (Vec.length v)
+
+let test_group_scratch_reuse () =
+  let table, v = make_batch [ 9; 9; 0; 0; 9 ] in
+  let g = Grouper.create () in
+  Grouper.group g table v ~len:5;
+  let table2, v2 = make_batch [ 1; 0 ] in
+  Grouper.group g table2 v2 ~len:2;
+  Alcotest.(check (list (triple int int int)))
+    "smaller second batch sees no stale state"
+    [ (0, 0, 1); (1, 1, 1) ]
+    (runs_of g)
+
+let test_group_bad_len () =
+  let table, v = make_batch [ 1 ] in
+  let g = Grouper.create () in
+  Alcotest.check_raises "len beyond vec"
+    (Invalid_argument "Grouper.group: bad length") (fun () ->
+      Grouper.group g table v ~len:2)
+
+let prop_group_matches_stable_sort =
+  Helpers.prop "grouping = stable sort by home"
+    QCheck.(list (int_bound 31))
+    (fun homes ->
+      let table, v = make_batch homes in
+      let g = Grouper.create () in
+      Grouper.group g table v ~len:(Vec.length v);
+      let expect =
+        List.stable_sort
+          (fun (a, _) (b, _) -> compare (a : int) b)
+          (List.map (fun h -> (Alloc.Obj_table.home table h, h)) (Vec.to_list v))
+      in
+      grouped g = expect
+      && List.fold_left (fun acc (_, _, len) -> acc + len) 0 (runs_of g)
+         = List.length homes)
+
+(* End-to-end guard for the rewrite: seeded trial digests for every
+   allocator model, captured on the pre-optimization tree. The hot-path
+   changes (slice grouping, drop_front splices, batched work_n charging)
+   claim bit-identical virtual-time behaviour; any divergence shows up here
+   as a digest mismatch. *)
+let expected_digests =
+  [
+    ("jemalloc", "02a94cde69fd78edd8191df63dd608e0");
+    ("jemalloc-ba", "ebc05c33934f036cb46ecdbc59fa059e");
+    ("tcmalloc", "0d60921c876dca31acc2f2603d3565b6");
+    ("mimalloc", "581ecfa9cb72b5778f9beb191330bc43");
+    ("leak", "f9801598a07deaace8a08121da03575d");
+    ("jemalloc-pool", "b4ea8801d9dd74e5dfb5ba980aba3966");
+  ]
+
+let test_digest_stability () =
+  let base =
+    {
+      Runtime.Config.default with
+      Runtime.Config.ds = "list";
+      smr = "debra";
+      threads = 4;
+      key_range = 256;
+      warmup_ns = 500_000;
+      duration_ns = 4_000_000;
+      grace_ns = 4_000_000;
+      seed = 42;
+      trials = 1;
+      validate = false;
+      alloc_config =
+        { Alloc.Alloc_intf.default_config with Alloc.Alloc_intf.tcache_cap = 16 };
+    }
+  in
+  List.iter
+    (fun (alloc, expected) ->
+      let cfg = { base with Runtime.Config.alloc } in
+      let t = Runtime.Runner.run_trial cfg ~seed:cfg.Runtime.Config.seed in
+      Alcotest.(check string) alloc expected (Runtime.Trial.digest t))
+    expected_digests
+
+let suite =
+  ( "hotpath",
+    [
+      Helpers.quick "group_empty" test_group_empty;
+      Helpers.quick "group_single_home" test_group_single_home;
+      Helpers.quick "group_all_distinct" test_group_all_distinct;
+      Helpers.quick "group_stable_within_home" test_group_stable_within_home;
+      Helpers.quick "group_prefix_only" test_group_prefix_only;
+      Helpers.quick "group_scratch_reuse" test_group_scratch_reuse;
+      Helpers.quick "group_bad_len" test_group_bad_len;
+      prop_group_matches_stable_sort;
+      Helpers.quick "digest_stability" test_digest_stability;
+    ] )

@@ -93,6 +93,51 @@ let test_run_until_cutoff () =
   Sched.run_until sched;
   Alcotest.(check bool) "stopped near the deadline" true (!reached >= 10 && !reached <= 11)
 
+let test_work_n_matches_loop () =
+  (* Batched charging must be bit-identical to the per-object loop it
+     replaces, including SMT rounding: each object is charged
+     round(per * factor), then multiplied — not round(count * per * factor). *)
+  let charge body =
+    let sched = Helpers.make_sched ~n:48 () in
+    let th = Sched.thread sched 0 in
+    Sched.spawn sched th body;
+    Sched.run sched;
+    Sched.now th
+  in
+  let looped =
+    charge (fun th ->
+        for _ = 1 to 7 do
+          Sched.work th Metrics.Flush 73
+        done)
+  in
+  let batched = charge (fun th -> Sched.work_n th Metrics.Flush ~per:73 ~count:7) in
+  (* 73 * 1.4 rounds to 102, which differs from round(7 * 73 * 1.4) = 715. *)
+  Alcotest.(check int) "count * round(per * factor)" (7 * 102) batched;
+  Alcotest.(check int) "identical to per-object loop" looped batched
+
+let test_work_n_zero_and_unscaled () =
+  Helpers.in_sim (fun _sched th ->
+      let t0 = Sched.now th in
+      Sched.work_n th Metrics.Ds ~per:100 ~count:0;
+      Alcotest.(check int) "count=0 charges nothing" t0 (Sched.now th);
+      Sched.work_n ~scaled:false th Metrics.Ds ~per:100 ~count:3;
+      Alcotest.(check int) "unscaled" (t0 + 300) (Sched.now th))
+
+let test_work_n_rejects_negative () =
+  Helpers.in_sim (fun _sched th ->
+      Alcotest.check_raises "negative per"
+        (Invalid_argument "Sched.work_n: negative cost") (fun () ->
+          Sched.work_n th Metrics.Ds ~per:(-1) ~count:1);
+      Alcotest.check_raises "negative count"
+        (Invalid_argument "Sched.work_n: negative count") (fun () ->
+          Sched.work_n th Metrics.Ds ~per:1 ~count:(-1)))
+
+let test_wait_rejects_negative () =
+  Helpers.in_sim (fun _sched th ->
+      Alcotest.check_raises "negative duration"
+        (Invalid_argument "Sched.wait: negative duration") (fun () ->
+          Sched.wait th Metrics.Lock (-5)))
+
 let test_wait_not_smt_scaled () =
   let sched = Helpers.make_sched ~n:48 () in
   let th = Sched.thread sched 0 in
@@ -143,6 +188,10 @@ let suite =
       Helpers.quick "atomically_suppresses_checkpoints" test_atomically_suppresses_checkpoints;
       Helpers.quick "atomically_restores_on_exception" test_atomically_restores_on_exception;
       Helpers.quick "run_until_cutoff" test_run_until_cutoff;
+      Helpers.quick "work_n_matches_loop" test_work_n_matches_loop;
+      Helpers.quick "work_n_zero_and_unscaled" test_work_n_zero_and_unscaled;
+      Helpers.quick "work_n_rejects_negative" test_work_n_rejects_negative;
+      Helpers.quick "wait_rejects_negative" test_wait_rejects_negative;
       Helpers.quick "wait_not_smt_scaled" test_wait_not_smt_scaled;
       Helpers.quick "thread_identity" test_thread_identity;
       Helpers.quick "oversubscription" test_oversubscription;

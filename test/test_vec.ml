@@ -32,6 +32,18 @@ let test_take_front_overshoot () =
   Alcotest.(check (array int)) "capped at length" [| 1; 2 |] taken;
   Alcotest.(check bool) "emptied" true (Vec.is_empty v)
 
+let test_drop_front () =
+  let v = Vec.of_list [ 1; 2; 3; 4; 5 ] in
+  Vec.drop_front v 3;
+  Alcotest.(check (list int)) "remainder shifted" [ 4; 5 ] (Vec.to_list v)
+
+let test_drop_front_overshoot () =
+  let v = Vec.of_list [ 1; 2 ] in
+  Vec.drop_front v 10;
+  Alcotest.(check bool) "emptied" true (Vec.is_empty v);
+  Vec.push v 7;
+  Alcotest.(check (list int)) "still usable" [ 7 ] (Vec.to_list v)
+
 let test_take_last () =
   let v = Vec.of_list [ 1; 2; 3; 4 ] in
   let taken = Vec.take_last v 2 in
@@ -86,6 +98,17 @@ let prop_take_front_split =
       taken = List.filteri (fun i _ -> i < k) l
       && Vec.to_list v = List.filteri (fun i _ -> i >= k) l)
 
+let prop_drop_front_matches_take_front =
+  Helpers.prop "drop_front = take_front minus the copy"
+    QCheck.(pair (list small_int) small_nat)
+    (fun (l, n) ->
+      let a = Vec.create () and b = Vec.create () in
+      List.iter (Vec.push a) l;
+      List.iter (Vec.push b) l;
+      ignore (Vec.take_front a n);
+      Vec.drop_front b n;
+      Vec.to_list a = Vec.to_list b)
+
 let suite =
   ( "vec",
     [
@@ -93,6 +116,8 @@ let suite =
       Helpers.quick "get_set" test_get_set;
       Helpers.quick "take_front" test_take_front;
       Helpers.quick "take_front_overshoot" test_take_front_overshoot;
+      Helpers.quick "drop_front" test_drop_front;
+      Helpers.quick "drop_front_overshoot" test_drop_front_overshoot;
       Helpers.quick "take_last" test_take_last;
       Helpers.quick "append" test_append;
       Helpers.quick "iter_fold" test_iter_fold;
@@ -100,4 +125,5 @@ let suite =
       Helpers.quick "poly" test_poly;
       prop_roundtrip;
       prop_take_front_split;
+      prop_drop_front_matches_take_front;
     ] )
