@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-diff examples \
 	regress regress-exact regress-perf regress-bless simcheck-smoke simcheck-selftest \
-	fmt fmt-check deps deps-fmt clean
+	trace-smoke fmt fmt-check deps deps-fmt clean
 
 all: build
 
@@ -64,6 +64,16 @@ simcheck-smoke:
 # shrunk counterexample must replay bit-identically.
 simcheck-selftest:
 	dune exec bin/simcheck.exe -- selftest
+
+# Event-tracing smoke: record a traced run (the paper's core scenario at a
+# small thread count), schema-validate the emitted Chrome trace JSON, and
+# leave trace-smoke.trace.json behind for the CI artifact / Perfetto. The
+# traced run also prints the trace-derived profiler report, whose shares are
+# cross-checked bit-exactly against the metrics counters in `make test`.
+trace-smoke:
+	dune exec bin/epochs.exe -- run --ds list --smr debra --alloc jemalloc \
+		--threads 8 --keys 256 --duration 8 --trace trace-smoke.trace.json
+	dune exec bin/epochs.exe -- validate-trace trace-smoke.trace.json
 
 # Re-record the golden baselines (multi-seed, derives the perf tolerances).
 # Review the diff before committing: blessing legitimizes whatever the

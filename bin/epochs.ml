@@ -66,6 +66,27 @@ let jobs_arg =
           "Domains to fan independent trials out over. Defaults to \\$(b,EPOCHS_JOBS) when set, \
            else the recommended domain count. Results are bit-identical to a sequential run.")
 
+let trace_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:
+          "Record the first trial's virtual-time events and write them as a Chrome \
+           trace-event JSON file to $(docv) (open in Perfetto or about://tracing; timestamps \
+           are virtual ns shown as \xc2\xb5s). Also prints the perf-style profile recomputed \
+           from the trace. Tracing never changes results: the trial is bit-identical with it \
+           on or off.")
+
+let trace_capacity_arg =
+  Arg.(
+    value
+    & opt int (1 lsl 20)
+    & info [ "trace-capacity" ] ~docv:"N"
+        ~doc:
+          "Ring-buffer capacity of the trace recorder, in events; the newest $(docv) events \
+           are kept and older ones are dropped.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
 let config ds smr alloc threads machine keys duration trials seed validate timeline af_drain zipf =
@@ -150,12 +171,30 @@ let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
 
 let run_cmd =
   let run ds smr alloc threads machine keys duration trials seed validate timeline garbage
-      af_drain zipf svg jobs =
+      af_drain zipf svg jobs trace trace_capacity =
     let cfg =
       config ds smr alloc threads machine keys duration trials seed validate timeline af_drain
         zipf
     in
-    let trials = Runtime.Runner.run ~jobs:(resolve_jobs jobs) cfg in
+    let trials =
+      match trace with
+      | None -> Runtime.Runner.run ~jobs:(resolve_jobs jobs) cfg
+      | Some path ->
+          (* Trace the first trial; the rest run untraced as usual. *)
+          let tracer = Simcore.Tracer.create ~capacity:trace_capacity () in
+          let first = Runtime.Runner.run_trial ~tracer cfg ~seed:cfg.Runtime.Config.seed in
+          let rest =
+            List.init
+              (max 0 (cfg.Runtime.Config.trials - 1))
+              (fun i -> Runtime.Runner.run_trial cfg ~seed:(cfg.Runtime.Config.seed + 1 + i))
+          in
+          Simtrace.Chrome.write_file path tracer;
+          Printf.printf "trace written to %s (%d events, %d dropped)\n" path
+            (Simcore.Tracer.retained tracer)
+            (Simcore.Tracer.dropped tracer);
+          Format.printf "%a@.@." Simtrace.Profile.pp (Simtrace.Profile.of_tracer tracer);
+          first :: rest
+    in
     List.iter (print_trial ~timeline ~garbage) trials;
     (match trials with t :: _ -> maybe_write_svg t svg | [] -> ());
     if List.length trials > 1 then begin
@@ -170,7 +209,7 @@ let run_cmd =
     Term.(
       const run $ ds_arg $ smr_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
       $ duration_arg $ trials_arg $ seed_arg $ validate_arg $ timeline_arg $ garbage_arg
-      $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg)
+      $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg $ trace_arg $ trace_capacity_arg)
 
 let comma_list s = String.split_on_char ',' s |> List.map String.trim
 
@@ -261,7 +300,43 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available components.") Term.(const run $ const ())
 
+let validate_trace_cmd =
+  let file_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"Chrome trace-event JSON file to check.")
+  in
+  let run file =
+    let ic = open_in_bin file in
+    let text =
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+    in
+    match Json.parse text with
+    | Error msg ->
+        Printf.eprintf "%s: JSON parse error: %s\n" file msg;
+        exit 1
+    | Ok doc -> (
+        match Simtrace.Chrome.validate doc with
+        | [] ->
+            let events =
+              match Json.member "traceEvents" doc with Json.List l -> List.length l | _ -> 0
+            in
+            Printf.printf "%s: valid (%d events)\n" file events
+        | errors ->
+            List.iter (fun e -> Printf.eprintf "%s: %s\n" file e) errors;
+            exit 1)
+  in
+  Cmd.v
+    (Cmd.info "validate-trace"
+       ~doc:
+         "Schema-check a trace written by $(b,--trace): required event fields, monotone \
+          timestamps, properly nested spans. Exits 1 on any problem.")
+    Term.(const run $ file_arg)
+
 let () =
   let doc = "Epoch-based reclamation vs allocator interaction simulator" in
   let info = Cmd.info "epochs" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; compare_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ run_cmd; sweep_cmd; compare_cmd; list_cmd; validate_trace_cmd ]))

@@ -62,6 +62,16 @@ let bench_out_arg =
     & info [ "bench-out" ] ~docv:"FILE"
         ~doc:"Where to write wall-clock self-measurements (per-entry and total wall_ns).")
 
+let trace_dir_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace" ] ~docv:"DIR"
+        ~doc:
+          "Record every entry's run and write one Chrome trace-event JSON file per entry to \
+           $(docv)/<id>.trace.json (open in Perfetto). Tracing never perturbs virtual time: \
+           the results JSON stays byte-identical to an untraced run.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
@@ -136,9 +146,20 @@ let load_suite path =
   else if path <> default_suite_path then die "simbench: suite manifest %s does not exist" path
   else (Regress.Suite.builtin, "builtin")
 
-let run_entry (e : Regress.Suite.entry) =
+let run_entry ?trace_dir (e : Regress.Suite.entry) =
   let cfg = e.Regress.Suite.config in
-  let trial = Runtime.Runner.run_trial cfg ~seed:cfg.Runtime.Config.seed in
+  let tracer =
+    match trace_dir with
+    | None -> Simcore.Tracer.disabled
+    | Some _ -> Simcore.Tracer.create ()
+  in
+  let trial = Runtime.Runner.run_trial ~tracer cfg ~seed:cfg.Runtime.Config.seed in
+  (match trace_dir with
+  | Some dir ->
+      Simtrace.Chrome.write_file
+        (Filename.concat dir (e.Regress.Suite.id ^ ".trace.json"))
+        tracer
+  | None -> ());
   (trial, Regress.Baseline.of_trial ~id:e.Regress.Suite.id trial)
 
 let results_json ~suite_label results =
@@ -185,7 +206,7 @@ let summary_table results =
 (* Run the suite's entries across [jobs] domains. Pool.map reassembles in
    submission order, so results (and every file derived from them) are
    byte-identical whatever the parallelism; only the wall_ns timings vary. *)
-let run_suite ~jobs entries =
+let run_suite ?trace_dir ~jobs entries =
   let (results, timings), total =
     timed (fun () ->
         let timed_results =
@@ -193,7 +214,7 @@ let run_suite ~jobs entries =
             (fun (e : Regress.Suite.entry) ->
               Printf.eprintf "simbench: running %s (%s)\n%!" e.Regress.Suite.id
                 (Runtime.Config.label e.Regress.Suite.config);
-              timed (fun () -> run_entry e))
+              timed (fun () -> run_entry ?trace_dir e))
             entries
         in
         ( List.map fst timed_results,
@@ -204,17 +225,24 @@ let run_suite ~jobs entries =
   (results, timings, total.wall_ns)
 
 let run_cmd =
-  let run suite out bench_out jobs =
+  let run suite out bench_out jobs trace_dir =
     let jobs = resolve_jobs jobs in
+    (match trace_dir with
+    | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
+    | _ -> ());
     let entries, suite_label = load_suite suite in
-    let results, timings, total_wall_ns = run_suite ~jobs entries in
+    let results, timings, total_wall_ns = run_suite ?trace_dir ~jobs entries in
     print_string (summary_table results);
     write_results ~out ~suite_label results;
-    write_bench ~bench_out ~suite_label ~jobs ~total_wall_ns timings
+    write_bench ~bench_out ~suite_label ~jobs ~total_wall_ns timings;
+    match trace_dir with
+    | Some dir ->
+        Printf.printf "traces written to %s (%d files)\n" dir (List.length entries)
+    | None -> ()
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the suite and write its results as canonical JSON.")
-    Term.(const run $ suite_arg $ out_arg $ bench_out_arg $ jobs_arg)
+    Term.(const run $ suite_arg $ out_arg $ bench_out_arg $ jobs_arg $ trace_dir_arg)
 
 let check_cmd =
   let exact_flag = Arg.(value & flag & info [ "exact" ] ~doc:"Digest gate: bit-exact determinism.") in

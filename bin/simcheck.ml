@@ -185,11 +185,33 @@ let replay_cmd =
   let file_arg =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"TRACE" ~doc:"Trace file to replay.")
   in
-  let run file =
+  let event_trace_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Also record the replayed schedule's virtual-time events and write them as a \
+             Chrome trace-event JSON file to $(docv) (open in Perfetto). Recording never \
+             perturbs the replay: the outcome digest is unchanged.")
+  in
+  let run file event_trace =
     let t = load_trace file in
     let sc = scenario_of_trace t in
-    let outcome, identical = Check.Engine.replay sc t in
+    let tracer =
+      match event_trace with
+      | None -> Simcore.Tracer.disabled
+      | Some _ -> Simcore.Tracer.create ()
+    in
+    let outcome, identical = Check.Engine.replay ~tracer sc t in
     Format.printf "%a@." Check.Oracle.pp_outcome outcome;
+    (match event_trace with
+    | Some path ->
+        Simtrace.Chrome.write_file path tracer;
+        Printf.printf "event trace written to %s (%d events, %d dropped)\n" path
+          (Simcore.Tracer.retained tracer)
+          (Simcore.Tracer.dropped tracer)
+    | None -> ());
     let reproduced = Check.Oracle.first_failure outcome = Some t.Check.Trace.failure in
     Printf.printf "recorded failure %s: %s; outcome digest: %s\n" t.Check.Trace.failure
       (if reproduced then "reproduced" else "NOT reproduced")
@@ -199,7 +221,7 @@ let replay_cmd =
   Cmd.v
     (Cmd.info "replay"
        ~doc:"Replay a trace; exits 0 iff the recorded failure reproduces bit-identically.")
-    Term.(const run $ file_arg)
+    Term.(const run $ file_arg $ event_trace_arg)
 
 let shrink_cmd =
   let file_arg =

@@ -47,12 +47,14 @@ let instrument ~name ~table ~raw_malloc ~raw_free ~cached_objects =
     Obj_table.mark_dead table h;
     let start = Sched.now th in
     th.Sched.in_free <- true;
+    Tracer.free_begin (Sched.tracer th.Sched.sched) ~tid:th.Sched.tid ~ts:start;
     (try raw_free th h
      with e ->
        th.Sched.in_free <- false;
        raise e);
     th.Sched.in_free <- false;
     let stop = Sched.now th in
+    Tracer.free_end (Sched.tracer th.Sched.sched) ~tid:th.Sched.tid ~ts:stop;
     Histogram.add th.Sched.metrics.Metrics.free_call_hist (stop - start);
     th.Sched.metrics.Metrics.frees <- th.Sched.metrics.Metrics.frees + 1;
     th.Sched.hooks.Sched.on_free_call ~start ~stop
@@ -100,38 +102,39 @@ module Grouper = struct
      allocation, and — the keys being distinct — a deterministic total
      order. Stdlib's [Array.sort] would sort the scratch tail too. Unsafe
      accesses are in range by the heap shape: every index is in
-     [0, last] ⊆ [0, n-1]. *)
-  let sort_prefix a n =
-    let sift root last =
-      let r = ref root in
-      let continue_ = ref true in
-      while !continue_ do
-        let child = (2 * !r) + 1 in
-        if child > last then continue_ := false
-        else begin
-          let child =
-            if child < last && Array.unsafe_get a child < Array.unsafe_get a (child + 1) then
-              child + 1
-            else child
-          in
-          let rv = Array.unsafe_get a !r and cv = Array.unsafe_get a child in
-          if rv < cv then begin
-            Array.unsafe_set a !r cv;
-            Array.unsafe_set a child rv;
-            r := child
-          end
-          else continue_ := false
+     [0, last] ⊆ [0, n-1]. [sift] lives outside [sort_prefix] so it is a
+     plain function, not a per-call closure over [a]. *)
+  let sift a root last =
+    let r = ref root in
+    let continue_ = ref true in
+    while !continue_ do
+      let child = (2 * !r) + 1 in
+      if child > last then continue_ := false
+      else begin
+        let child =
+          if child < last && Array.unsafe_get a child < Array.unsafe_get a (child + 1) then
+            child + 1
+          else child
+        in
+        let rv = Array.unsafe_get a !r and cv = Array.unsafe_get a child in
+        if rv < cv then begin
+          Array.unsafe_set a !r cv;
+          Array.unsafe_set a child rv;
+          r := child
         end
-      done
-    in
+        else continue_ := false
+      end
+    done
+
+  let sort_prefix a n =
     for i = (n / 2) - 1 downto 0 do
-      sift i (n - 1)
+      sift a i (n - 1)
     done;
     for last = n - 1 downto 1 do
       let tmp = Array.unsafe_get a 0 in
       Array.unsafe_set a 0 (Array.unsafe_get a last);
       Array.unsafe_set a last tmp;
-      sift 0 (last - 1)
+      sift a 0 (last - 1)
     done
 
   (* Group the first [len] handles of [v] by home. After the call the

@@ -63,8 +63,11 @@ let create ?(config = Alloc_intf.default_config) sched =
 let drain_pending t (th : Sched.thread) cls =
   let pending = t.pending.(th.Sched.tid).(cls) in
   if not (Vec.is_empty pending) then begin
+    let tr = Sched.tracer th.Sched.sched in
+    let t0 = Sched.now th in
     th.Sched.in_flush <- true;
     let n_drain = min t.chunk (Vec.length pending) in
+    Tracer.flush_begin tr ~tid:th.Sched.tid ~ts:t0 ~a:n_drain;
     let g = t.groupers.(th.Sched.tid) in
     Alloc_intf.Grouper.group g t.table pending ~len:n_drain;
     Vec.drop_front pending n_drain;
@@ -85,11 +88,16 @@ let drain_pending t (th : Sched.thread) cls =
       for j = start to start + len - 1 do
         Vec.push bin.freelist (Alloc_intf.Grouper.handle g j)
       done;
-      if arena <> my_arena then
+      if arena <> my_arena then begin
         th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + len;
+        if Tracer.enabled tr then
+          Tracer.instant tr Tracer.Remote_free ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:len
+            ~b:home
+      end;
       Sim_mutex.unlock bin.lock th
     done;
-    th.Sched.in_flush <- false
+    th.Sched.in_flush <- false;
+    Tracer.flush_end tr ~tid:th.Sched.tid ~ts:(Sched.now th)
   end
 
 let raw_free t (th : Sched.thread) h =
@@ -100,9 +108,14 @@ let raw_free t (th : Sched.thread) h =
   Vec.push tc h;
   if Vec.length tc > t.config.tcache_cap then begin
     (* Incremental eviction: move one chunk to the pending buffer (cheap
-       local work), then drain one chunk to the bins. *)
+       local work), then drain one chunk to the bins. The [Overflow] instant
+       sits here, at the [flushes] counter, *outside* the [in_flush] drain
+       below — this variant overflows without a synchronous flush. *)
     th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
     let n_evict = min t.chunk (Vec.length tc) in
+    (let tr = Sched.tracer th.Sched.sched in
+     if Tracer.enabled tr then
+       Tracer.instant tr Tracer.Overflow ~tid ~ts:(Sched.now th) ~a:n_evict ~b:cls);
     Sched.work_n th Metrics.Alloc ~per:(t.cost.Cost_model.cache_push / 2) ~count:n_evict;
     let pending = t.pending.(tid).(cls) in
     for i = 0 to n_evict - 1 do
@@ -115,6 +128,8 @@ let raw_free t (th : Sched.thread) h =
 let refill t (th : Sched.thread) cls =
   let tid = th.Sched.tid in
   let tc = t.tcache.(tid).(cls) in
+  let tr = Sched.tracer th.Sched.sched in
+  let t0 = Sched.now th in
   (* Reuse deferred evictions first: they are local and lock-free. *)
   let pending = t.pending.(tid).(cls) in
   let from_pending = min t.config.refill_batch (Vec.length pending) in
@@ -149,7 +164,10 @@ let refill t (th : Sched.thread) cls =
       Sched.work th Metrics.Alloc (pages * t.cost.Cost_model.fresh_page);
       Sched.work th Metrics.Alloc (missing * t.cost.Cost_model.fresh_object_touch)
     end
-  end
+  end;
+  if Tracer.enabled tr then
+    Tracer.span tr Tracer.Refill ~tid ~ts:t0 ~dur:(Sched.now th - t0)
+      ~a:(Vec.length tc) ~b:cls
 
 let raw_malloc t (th : Sched.thread) size =
   let cls = Size_class.of_size size in

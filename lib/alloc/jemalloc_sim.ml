@@ -74,8 +74,14 @@ let flush t (th : Sched.thread) cls =
   let tc = t.tcache.(th.Sched.tid).(cls) in
   let n_flush = Vec.length tc - t.flush_keep in
   if n_flush > 0 then begin
+    let tr = Sched.tracer th.Sched.sched in
+    let t0 = Sched.now th in
     th.Sched.in_flush <- true;
     th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
+    if Tracer.enabled tr then begin
+      Tracer.instant tr Tracer.Overflow ~tid:th.Sched.tid ~ts:t0 ~a:n_flush ~b:cls;
+      Tracer.flush_begin tr ~tid:th.Sched.tid ~ts:t0 ~a:n_flush
+    end;
     let g = t.groupers.(th.Sched.tid) in
     Alloc_intf.Grouper.group g t.table tc ~len:n_flush;
     Vec.drop_front tc n_flush;
@@ -106,12 +112,17 @@ let flush t (th : Sched.thread) cls =
       for j = start to start + len - 1 do
         Vec.push bin.freelist (Alloc_intf.Grouper.handle g j)
       done;
-      if arena <> my_arena then
+      if arena <> my_arena then begin
         th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + len;
+        if Tracer.enabled tr then
+          Tracer.instant tr Tracer.Remote_free ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:len
+            ~b:home
+      end;
       Sim_mutex.unlock bin.lock th;
       remaining := !remaining - len
     done;
-    th.Sched.in_flush <- false
+    th.Sched.in_flush <- false;
+    Tracer.flush_end tr ~tid:th.Sched.tid ~ts:(Sched.now th)
   end
 
 let raw_free t (th : Sched.thread) h =
@@ -128,6 +139,8 @@ let refill t (th : Sched.thread) cls =
   let tc = t.tcache.(tid).(cls) in
   let arena = arena_of_thread t tid in
   let bin = t.bins.(arena).(cls) in
+  let tr = Sched.tracer th.Sched.sched in
+  let t0 = Sched.now th in
   Sim_mutex.lock bin.lock th;
   let from_bin = min t.config.refill_batch (Vec.length bin.freelist) in
   Sched.work_n th Metrics.Alloc ~per:t.cost.Cost_model.refill_per_object ~count:from_bin;
@@ -152,7 +165,10 @@ let refill t (th : Sched.thread) cls =
     let pages = (missing + per_page - 1) / per_page in
     Sched.work th Metrics.Alloc (pages * t.cost.Cost_model.fresh_page);
     Sched.work th Metrics.Alloc (missing * t.cost.Cost_model.fresh_object_touch)
-  end
+  end;
+  if Tracer.enabled tr then
+    Tracer.span tr Tracer.Refill ~tid ~ts:t0 ~dur:(Sched.now th - t0) ~a:(from_bin + missing)
+      ~b:cls
 
 let raw_malloc t (th : Sched.thread) size =
   let cls = Size_class.of_size size in

@@ -91,7 +91,10 @@ let raw_free t (th : Sched.thread) h =
   else begin
     (* Remote free: one atomic push on the owning page's cross-thread list.
        Contention arises only if another thread frees to the same page at
-       the same virtual time. *)
+       the same virtual time. Note no [in_flush] period and no [Flush] trace
+       span: MImalloc never flushes, so its profile has flush_ns = 0 even
+       though the push is charged to the Flush *bucket* (which only feeds
+       the total). *)
     Sim_mutex.lock p.lock th;
     Sched.work th Metrics.Flush t.cost.Cost_model.cache_push;
     Vec.push p.xfree h;
@@ -100,12 +103,18 @@ let raw_free t (th : Sched.thread) h =
       Vec.push t.slots.(p.owner).(p.cls).pending p.id
     end;
     Sim_mutex.unlock p.lock th;
-    th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + 1
+    th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + 1;
+    let tr = Sched.tracer th.Sched.sched in
+    if Tracer.enabled tr then
+      Tracer.instant tr Tracer.Remote_free ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:1 ~b:p.id
   end
 
 (* Collect cross-thread free lists of owned pages flagged as non-empty. *)
 let collect t (th : Sched.thread) cls =
   let slot = t.slots.(th.Sched.tid).(cls) in
+  let tr = Sched.tracer th.Sched.sched in
+  let t0 = Sched.now th in
+  let before = Vec.length slot.alloc_list in
   while Vec.length slot.alloc_list = 0 && Vec.length slot.pending > 0 do
     let pid = Vec.pop slot.pending in
     let p = t.pages.(pid) in
@@ -115,7 +124,11 @@ let collect t (th : Sched.thread) cls =
     Vec.clear p.xfree;
     p.flagged <- false;
     Sim_mutex.unlock p.lock th
-  done
+  done;
+  let collected = Vec.length slot.alloc_list - before in
+  if Tracer.enabled tr && collected > 0 then
+    Tracer.span tr Tracer.Refill ~tid:th.Sched.tid ~ts:t0 ~dur:(Sched.now th - t0) ~a:collected
+      ~b:cls
 
 let raw_malloc t (th : Sched.thread) size =
   let cls = Size_class.of_size size in

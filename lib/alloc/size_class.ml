@@ -9,14 +9,19 @@ let count = Array.length classes
 
 let max_size = classes.(count - 1)
 
-(* Index of the smallest class that fits [size]. *)
+(* Index of the smallest class that fits [size]. A while loop rather than a
+   local recursive function: this runs on every simulated malloc, and a local
+   [let rec] closes over [size], costing a minor-heap closure per call. *)
 let of_size size =
   if size <= 0 then invalid_arg "Size_class.of_size: non-positive size";
   if size > max_size then
     invalid_arg
       (Printf.sprintf "Size_class.of_size: %d exceeds max small size %d" size max_size);
-  let rec find i = if classes.(i) >= size then i else find (i + 1) in
-  find 0
+  let i = ref 0 in
+  while classes.(!i) < size do
+    incr i
+  done;
+  !i
 
 let bytes c =
   if c < 0 || c >= count then invalid_arg "Size_class.bytes";

@@ -59,8 +59,14 @@ let flush t (th : Sched.thread) cls =
   let tc = t.tcache.(th.Sched.tid).(cls) in
   let n_flush = Vec.length tc - t.flush_keep in
   if n_flush > 0 then begin
+    let tr = Sched.tracer th.Sched.sched in
+    let t0 = Sched.now th in
     th.Sched.in_flush <- true;
     th.Sched.metrics.Metrics.flushes <- th.Sched.metrics.Metrics.flushes + 1;
+    if Tracer.enabled tr then begin
+      Tracer.instant tr Tracer.Overflow ~tid:th.Sched.tid ~ts:t0 ~a:n_flush ~b:cls;
+      Tracer.flush_begin tr ~tid:th.Sched.tid ~ts:t0 ~a:n_flush
+    end;
     let central = t.central.(cls) in
     Sim_mutex.lock central.lock th;
     Sched.work th Metrics.Flush (splice_fixed + (n_flush * splice_per_object));
@@ -72,8 +78,12 @@ let flush t (th : Sched.thread) cls =
     done;
     Vec.drop_front tc n_flush;
     th.Sched.metrics.Metrics.remote_frees <- th.Sched.metrics.Metrics.remote_frees + n_flush;
+    if Tracer.enabled tr then
+      Tracer.instant tr Tracer.Remote_free ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:n_flush
+        ~b:cls;
     Sim_mutex.unlock central.lock th;
-    th.Sched.in_flush <- false
+    th.Sched.in_flush <- false;
+    Tracer.flush_end tr ~tid:th.Sched.tid ~ts:(Sched.now th)
   end
 
 let raw_free t (th : Sched.thread) h =
@@ -86,6 +96,8 @@ let raw_free t (th : Sched.thread) h =
 let refill t (th : Sched.thread) cls =
   let tc = t.tcache.(th.Sched.tid).(cls) in
   let central = t.central.(cls) in
+  let tr = Sched.tracer th.Sched.sched in
+  let t0 = Sched.now th in
   Sim_mutex.lock central.lock th;
   let from_central = min t.config.refill_batch (Vec.length central.freelist) in
   Sched.work th Metrics.Alloc (splice_fixed + (from_central * splice_per_object));
@@ -110,7 +122,10 @@ let refill t (th : Sched.thread) cls =
     let pages = (missing + per_page - 1) / per_page in
     Sched.work th Metrics.Alloc (pages * t.cost.Cost_model.fresh_page);
     Sched.work th Metrics.Alloc (missing * t.cost.Cost_model.fresh_object_touch)
-  end
+  end;
+  if Tracer.enabled tr then
+    Tracer.span tr Tracer.Refill ~tid:th.Sched.tid ~ts:t0 ~dur:(Sched.now th - t0)
+      ~a:(from_central + missing) ~b:cls
 
 let raw_malloc t (th : Sched.thread) size =
   let cls = Size_class.of_size size in

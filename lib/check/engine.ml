@@ -8,9 +8,9 @@
 
 type run_result = { outcome : Oracle.outcome; decisions : Trace.decision list }
 
-let run_one (sc : Scenario.t) ~spec ~seed ~mutant =
+let run_one ?(tracer = Simcore.Tracer.disabled) (sc : Scenario.t) ~spec ~seed ~mutant =
   let recorder = Strategy.make spec ~seed in
-  let outcome = sc.Scenario.run ~seed ~recorder ~mutant in
+  let outcome = sc.Scenario.run ~tracer ~seed ~recorder ~mutant in
   { outcome; decisions = recorder.Strategy.decisions () }
 
 let trace_of_failure (sc : Scenario.t) ~strategy ~mutant (r : run_result) =
@@ -73,9 +73,11 @@ let explore ?jobs (sc : Scenario.t) ~spec ~strategy ~budget ~seed ~mutant =
 
 (* Replay a trace: re-run the scenario under the recorded decision list.
    The run is bit-identical iff the outcome digest matches the trace. *)
-let replay (sc : Scenario.t) (t : Trace.t) =
+let replay ?tracer (sc : Scenario.t) (t : Trace.t) =
   let mutant = Option.bind t.Trace.mutant Mutant.of_name in
-  let r = run_one sc ~spec:(Strategy.Replay t.Trace.decisions) ~seed:t.Trace.seed ~mutant in
+  let r =
+    run_one ?tracer sc ~spec:(Strategy.Replay t.Trace.decisions) ~seed:t.Trace.seed ~mutant
+  in
   (r.outcome, Oracle.digest r.outcome = t.Trace.outcome_digest)
 
 (* Greedy delta-debugging over the decision list: drop chunks (halving the

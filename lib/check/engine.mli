@@ -4,7 +4,12 @@
 type run_result = { outcome : Oracle.outcome; decisions : Trace.decision list }
 
 val run_one :
-  Scenario.t -> spec:Strategy.spec -> seed:int -> mutant:Mutant.t option -> run_result
+  ?tracer:Simcore.Tracer.t ->
+  Scenario.t ->
+  spec:Strategy.spec ->
+  seed:int ->
+  mutant:Mutant.t option ->
+  run_result
 
 type report = {
   scenario : string;
@@ -28,9 +33,10 @@ val explore :
 (** Run [budget] schedules with consecutive seeds, fanned out over the
     domain pool; the report is bit-identical to a sequential exploration. *)
 
-val replay : Scenario.t -> Trace.t -> Oracle.outcome * bool
+val replay : ?tracer:Simcore.Tracer.t -> Scenario.t -> Trace.t -> Oracle.outcome * bool
 (** Re-run a trace; [true] iff the outcome digest matches the trace
-    (bit-identical reproduction). *)
+    (bit-identical reproduction). With [tracer] the replay is recorded
+    (same digest contract: tracing never perturbs the outcome). *)
 
 val shrink : ?max_attempts:int -> Scenario.t -> Trace.t -> Trace.t * int
 (** Greedy delta-debugging over the decision list, keeping candidates that

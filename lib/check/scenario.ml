@@ -14,7 +14,12 @@ open Simcore
 type t = {
   name : string;
   summary : string;
-  run : seed:int -> recorder:Strategy.recorder -> mutant:Mutant.t option -> Oracle.outcome;
+  run :
+    tracer:Tracer.t ->
+    seed:int ->
+    recorder:Strategy.recorder ->
+    mutant:Mutant.t option ->
+    Oracle.outcome;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -70,13 +75,15 @@ let mutated_retire ~(smr : Smr.Smr_intf.t) ~safety ~policy ~held = function
         incr held
   | Some Mutant.Lost_callback -> fun _ _ -> ()
 
-let run_sim ~name ~ds_name ~smr_name ~params ~seed ~(recorder : Strategy.recorder) ~mutant =
+let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy.recorder)
+    ~mutant =
   let p = params in
   let n = p.n_threads in
   let violations = ref [] in
   let add v = violations := v :: !violations in
   let sched = Sched.create ~topology:Topology.intel_192t ~n_threads:n ~seed () in
   Sched.set_controller sched (Some recorder.Strategy.controller);
+  Sched.set_tracer sched tracer;
   (* The leak allocator never recycles handles, so every free is visible
      to the grace-period validator exactly once. *)
   let alloc = Alloc.Registry.make "leak" sched in
@@ -325,13 +332,14 @@ let make_token ~mode ~n (liv : Liveness.t) (get_time : int -> int) =
           (0, 0) handles);
   }
 
-let run_par ~name ~make_proto ~params ~seed ~(recorder : Strategy.recorder) ~mutant =
+let run_par ~name ~make_proto ~params ~tracer ~seed ~(recorder : Strategy.recorder) ~mutant =
   let p = params in
   let n = p.par_threads in
   let violations = ref [] in
   let add v = violations := v :: !violations in
   let sched = Sched.create ~topology:Topology.intel_192t ~n_threads:n ~seed () in
   Sched.set_controller sched (Some recorder.Strategy.controller);
+  Sched.set_tracer sched tracer;
   let slab = Parallel.Slab.create ~blocks:p.blocks ~block_words:2 in
   let stack = Parallel.Treiber_stack.create () in
   let liv = Liveness.create () in
@@ -535,14 +543,18 @@ let sim ~name ~summary ~ds_name ~smr_name params =
   {
     name;
     summary;
-    run = (fun ~seed ~recorder ~mutant -> run_sim ~name ~ds_name ~smr_name ~params ~seed ~recorder ~mutant);
+    run =
+      (fun ~tracer ~seed ~recorder ~mutant ->
+        run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~recorder ~mutant);
   }
 
 let par ~name ~summary ~make_proto params =
   {
     name;
     summary;
-    run = (fun ~seed ~recorder ~mutant -> run_par ~name ~make_proto ~params ~seed ~recorder ~mutant);
+    run =
+      (fun ~tracer ~seed ~recorder ~mutant ->
+        run_par ~name ~make_proto ~params ~tracer ~seed ~recorder ~mutant);
   }
 
 (* Base epoch-stall budgets (virtual ns) are calibrated against the

@@ -10,7 +10,14 @@
 type t = {
   name : string;
   summary : string;
-  run : seed:int -> recorder:Strategy.recorder -> mutant:Mutant.t option -> Oracle.outcome;
+  run :
+    tracer:Simcore.Tracer.t ->
+    seed:int ->
+    recorder:Strategy.recorder ->
+    mutant:Mutant.t option ->
+    Oracle.outcome;
+      (** [tracer] (usually {!Simcore.Tracer.disabled}) records the
+          schedule's events without affecting the outcome digest. *)
 }
 
 val all : t list

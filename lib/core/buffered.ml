@@ -44,6 +44,14 @@ let reclamation_pass t (th : Sched.thread) st =
   let signals = t.spec.signals_per_pass ~n in
   Sched.work_n th Metrics.Smr ~per:cost.Cost_model.signal ~count:signals;
   th.Sched.metrics.Metrics.epochs <- th.Sched.metrics.Metrics.epochs + 1;
+  (let tr = Sched.tracer th.Sched.sched in
+   if Tracer.enabled tr then begin
+     Tracer.instant tr Tracer.Epoch_advance ~tid:th.Sched.tid ~ts:(Sched.now th)
+       ~a:th.Sched.metrics.Metrics.epochs ~b:0;
+     Tracer.instant tr Tracer.Epoch_garbage ~tid:th.Sched.tid ~ts:(Sched.now th)
+       ~a:(Vec.length st.cur + Vec.length st.prev)
+       ~b:th.Sched.metrics.Metrics.epochs
+   end);
   th.Sched.hooks.Sched.on_epoch_advance ~time:(Sched.now th)
     ~epoch:th.Sched.metrics.Metrics.epochs;
   th.Sched.hooks.Sched.on_epoch_garbage ~epoch:th.Sched.metrics.Metrics.epochs
@@ -66,7 +74,10 @@ let retire t (th : Sched.thread) h =
   | Some s -> Safety.note_retire s ~handle:h ~time:(Sched.now th)
   | None -> ());
   Vec.push st.cur h;
-  th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1
+  th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1;
+  let tr = Sched.tracer th.Sched.sched in
+  if Tracer.enabled tr then
+    Tracer.instant tr Tracer.Retire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:h ~b:0
 
 (* The pass runs at operation end rather than inside [retire], so the batch
    free happens outside the data structure operation (retire is called

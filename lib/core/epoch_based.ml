@@ -39,6 +39,9 @@ let enter_epoch t st (th : Sched.thread) e =
   (* Report garbage held on epoch entry (paper Fig 4). *)
   let held = Array.fold_left (fun acc b -> acc + Vec.length b) 0 st.bags in
   th.Sched.hooks.Sched.on_epoch_garbage ~epoch:e ~count:held;
+  (let tr = Sched.tracer th.Sched.sched in
+   if Tracer.enabled tr then
+     Tracer.instant tr Tracer.Epoch_garbage ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:held ~b:e);
   st.announced <- e;
   Contention.charge th (Sched.cost t.ctx.Smr_intf.sched).Cost_model.announce;
   (* Dispose every bag three or more epochs old, then pick a bag for e.
@@ -80,6 +83,10 @@ let try_advance t st (th : Sched.thread) e =
         t.epoch <- e + 1;
         Contention.charge th cost.Cost_model.announce;
         th.Sched.metrics.Metrics.epochs <- th.Sched.metrics.Metrics.epochs + 1;
+        (let tr = Sched.tracer th.Sched.sched in
+         if Tracer.enabled tr then
+           Tracer.instant tr Tracer.Epoch_advance ~tid:th.Sched.tid ~ts:(Sched.now th)
+             ~a:(e + 1) ~b:0);
         th.Sched.hooks.Sched.on_epoch_advance ~time:(Sched.now th) ~epoch:(e + 1)
       end;
       st.scan_idx <- (th.Sched.tid + 1) mod n
@@ -107,7 +114,10 @@ let retire t (th : Sched.thread) h =
   | Some s -> Safety.note_retire s ~handle:h ~time:(Sched.now th)
   | None -> ());
   Vec.push st.bags.(st.cur) h;
-  th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1
+  th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1;
+  let tr = Sched.tracer th.Sched.sched in
+  if Tracer.enabled tr then
+    Tracer.instant tr Tracer.Retire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:h ~b:0
 
 let make ~name ~check_every ~announce_every_op (ctx : Smr_intf.ctx) =
   let n = Sched.n_threads ctx.Smr_intf.sched in

@@ -50,11 +50,19 @@ let dispose t (th : Sched.thread) bag =
         let start = Sched.now th in
         Vec.iter (fun h -> free_one t th h) bag;
         Vec.clear bag;
-        th.Sched.hooks.Sched.on_reclaim_event ~start ~stop:(Sched.now th) ~count
+        let stop = Sched.now th in
+        (let tr = Sched.tracer th.Sched.sched in
+         if Tracer.enabled tr then
+           Tracer.span tr Tracer.Reclaim ~tid:th.Sched.tid ~ts:start ~dur:(stop - start)
+             ~a:count ~b:0);
+        th.Sched.hooks.Sched.on_reclaim_event ~start ~stop ~count
     | Amortized _ ->
         Sched.work th Metrics.Smr t.splice_cost;
         Vec.append t.freeable.(th.Sched.tid) bag;
-        Vec.clear bag
+        Vec.clear bag;
+        let tr = Sched.tracer th.Sched.sched in
+        if Tracer.enabled tr then
+          Tracer.instant tr Tracer.Splice ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:count ~b:0
   end
 
 (* Called once per data structure operation: under AF, gradually drain the
@@ -65,9 +73,16 @@ let tick t (th : Sched.thread) =
   | Amortized k ->
       let fl = t.freeable.(th.Sched.tid) in
       let n = min k (Vec.length fl) in
-      for _ = 1 to n do
-        free_one t th (Vec.pop fl)
-      done
+      if n > 0 then begin
+        let t0 = Sched.now th in
+        for _ = 1 to n do
+          free_one t th (Vec.pop fl)
+        done;
+        let tr = Sched.tracer th.Sched.sched in
+        if Tracer.enabled tr then
+          Tracer.span tr Tracer.Af_drain ~tid:th.Sched.tid ~ts:t0 ~dur:(Sched.now th - t0)
+            ~a:n ~b:0
+      end
 
 (* Objects identified as safe but not yet freed, per thread. *)
 let pending t tid = Vec.length t.freeable.(tid)

@@ -67,12 +67,26 @@ let free_bag_periodic t (th : Sched.thread) bag k =
       end)
     bag;
   Vec.clear bag;
-  if count > 0 then
-    th.Sched.hooks.Sched.on_reclaim_event ~start ~stop:(Sched.now th) ~count
+  if count > 0 then begin
+    let stop = Sched.now th in
+    (let tr = Sched.tracer th.Sched.sched in
+     if Tracer.enabled tr then
+       Tracer.span tr Tracer.Reclaim ~tid:th.Sched.tid ~ts:start ~dur:(stop - start) ~a:count
+         ~b:0);
+    th.Sched.hooks.Sched.on_reclaim_event ~start ~stop ~count
+  end
 
 let on_token t st (th : Sched.thread) =
   st.receipts <- st.receipts + 1;
   th.Sched.metrics.Metrics.epochs <- th.Sched.metrics.Metrics.epochs + 1;
+  (let tr = Sched.tracer th.Sched.sched in
+   if Tracer.enabled tr then begin
+     Tracer.instant tr Tracer.Epoch_advance ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:t.rounds
+       ~b:0;
+     Tracer.instant tr Tracer.Epoch_garbage ~tid:th.Sched.tid ~ts:(Sched.now th)
+       ~a:(Vec.length st.cur + Vec.length st.prev)
+       ~b:t.rounds
+   end);
   th.Sched.hooks.Sched.on_epoch_advance ~time:(Sched.now th) ~epoch:t.rounds;
   th.Sched.hooks.Sched.on_epoch_garbage ~epoch:t.rounds
     ~count:(Vec.length st.cur + Vec.length st.prev);
@@ -114,7 +128,10 @@ let retire t (th : Sched.thread) h =
   | Some s -> Safety.note_retire s ~handle:h ~time:(Sched.now th)
   | None -> ());
   Vec.push st.cur h;
-  th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1
+  th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1;
+  let tr = Sched.tracer th.Sched.sched in
+  if Tracer.enabled tr then
+    Tracer.instant tr Tracer.Retire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:h ~b:0
 
 let make ?name ~variant (ctx : Smr_intf.ctx) =
   let n = Sched.n_threads ctx.Smr_intf.sched in

@@ -63,11 +63,15 @@ let do_op (cfg : Config.t) (smr : Smr.Smr_intf.t) (ds : Ds.Ds_intf.t) safety per
   Histogram.add th.Sched.metrics.Metrics.op_hist (Sched.now th - op_start);
   Sched.checkpoint th
 
-let run_trial (cfg : Config.t) ~seed =
+let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
   let n = cfg.Config.threads in
   let sched =
     Sched.create ~cost:cfg.Config.cost ~topology:cfg.Config.topology ~n_threads:n ~seed ()
   in
+  (* Tracing covers the whole trial (setup, prefill, measured window); the
+     profiler isolates the measured window via the Measure_start markers
+     below, mirroring the metric snapshots exactly. *)
+  Sched.set_tracer sched tracer;
   let alloc = Alloc.Registry.make ~config:cfg.Config.alloc_config cfg.Config.alloc sched in
   let safety = if cfg.Config.validate then Some (Smr.Safety.create ~n) else None in
   let base_smr, af = Smr.Smr_registry.parse cfg.Config.smr in
@@ -169,7 +173,10 @@ let run_trial (cfg : Config.t) ~seed =
         snaps.(tid) = None
         && state.measure_start < max_int
         && Sched.now th >= state.measure_start
-      then snaps.(tid) <- Some (Metrics.copy th.Sched.metrics);
+      then begin
+        snaps.(tid) <- Some (Metrics.copy th.Sched.metrics);
+        Tracer.instant tracer Tracer.Measure_start ~tid ~ts:(Sched.now th) ~a:0 ~b:0
+      end;
       do_op cfg smr ds safety per_node_scaled sample th
     done;
     match safety with
@@ -178,6 +185,14 @@ let run_trial (cfg : Config.t) ~seed =
   in
   Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
   Sched.run_until sched;
+  (* Close spans left open by threads abandoned mid-free at the deadline
+     (their partial inclusive time is in the metrics, so the trace must
+     carry it too), then record each thread's final clock. *)
+  Array.iter
+    (fun (th : Sched.thread) ->
+      Tracer.close_open tracer ~tid:th.Sched.tid ~now:th.Sched.clock;
+      Tracer.instant tracer Tracer.Thread_end ~tid:th.Sched.tid ~ts:th.Sched.clock ~a:0 ~b:0)
+    (Sched.threads sched);
   (* Collect the measured window: counters after minus the snapshot. *)
   let agg = Metrics.create () in
   Array.iter

@@ -6,7 +6,12 @@
     repeatedly flips a coin and inserts or deletes a uniform random key —
     measuring a fixed window of virtual time after a warmup. *)
 
-val run_trial : Config.t -> seed:int -> Trial.t
+val run_trial : ?tracer:Simcore.Tracer.t -> Config.t -> seed:int -> Trial.t
+(** [run_trial ?tracer cfg ~seed] runs one trial. When [tracer] is given
+    (default {!Simcore.Tracer.disabled}), every scheduler, lock, allocator
+    and SMR event of the trial is recorded into it — with zero effect on
+    virtual time, so the returned {!Trial.t} (and its digest) is
+    bit-identical with tracing on or off. *)
 
 val run : ?jobs:int -> Config.t -> Trial.t list
 (** [run cfg] performs [cfg.trials] trials with consecutive seeds, fanned

@@ -70,6 +70,8 @@ and t = {
   mutable controller : (thread -> int) option;
       (* schedule controller (model checking): consulted at every
          checkpoint, returns extra stall ns injected before the yield *)
+  mutable tracer : Tracer.t;
+      (* event recorder; [Tracer.disabled] (a branch-only no-op) by default *)
 }
 
 type _ Effect.t += Yield : thread -> unit Effect.t
@@ -92,6 +94,7 @@ let create ?(cost = Cost_model.default) ~topology ~n_threads ~seed () =
       oversub = Topology.oversubscription topology ~n:n_threads;
       quantum = quantum_ns;
       controller = None;
+      tracer = Tracer.disabled;
     }
   in
   let root_rng = Rng.create seed in
@@ -129,6 +132,12 @@ let thread t i = t.threads.(i)
 let cost t = t.cost
 let topology t = t.topology
 let n_threads t = t.n_threads
+
+let set_tracer t tr =
+  t.tracer <- tr;
+  Tracer.attach tr ~n_threads:t.n_threads
+
+let tracer t = t.tracer
 
 let enqueue sched ~key f =
   sched.seq <- sched.seq + 1;
@@ -178,14 +187,21 @@ let maybe_preempt th =
     let away =
       int_of_float ((th.sched.oversub -. 1.0) *. float_of_int th.sched.quantum)
     in
+    let t0 = th.clock in
     wait th Metrics.Idle away;
-    th.next_preempt <- th.clock + th.sched.quantum
+    th.next_preempt <- th.clock + th.sched.quantum;
+    let tr = th.sched.tracer in
+    if Tracer.enabled tr then begin
+      Tracer.span tr Tracer.Preempt ~tid:th.tid ~ts:t0 ~dur:(th.clock - t0) ~a:0 ~b:0;
+      Tracer.advance_run tr ~tid:th.tid ~now:th.clock
+    end
   end
 
 (* Yield to the scheduler; resumes when this thread is again minimal.
    Suppressed inside [atomically] sections. *)
 let checkpoint th =
   if th.atomic_depth = 0 then begin
+    Tracer.run_span th.sched.tracer ~tid:th.tid ~now:th.clock;
     maybe_preempt th;
     (match th.sched.controller with
     | None -> ()
@@ -195,7 +211,15 @@ let checkpoint th =
            thread runs first. The stall is charged as idle (descheduled)
            time, exactly like an involuntary preemption. *)
         let d = f th in
-        if d > 0 then wait th Metrics.Idle d);
+        if d > 0 then begin
+          let t0 = th.clock in
+          wait th Metrics.Idle d;
+          let tr = th.sched.tracer in
+          if Tracer.enabled tr then begin
+            Tracer.span tr Tracer.Stall ~tid:th.tid ~ts:t0 ~dur:(th.clock - t0) ~a:0 ~b:0;
+            Tracer.advance_run tr ~tid:th.tid ~now:th.clock
+          end
+        end);
     Effect.perform (Yield th)
   end
 

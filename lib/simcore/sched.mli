@@ -64,6 +64,15 @@ val cost : t -> Cost_model.t
 val topology : t -> Topology.t
 val n_threads : t -> int
 
+val set_tracer : t -> Tracer.t -> unit
+(** Install an event recorder: the scheduler, {!Sim_mutex}, the allocators
+    and the SMR cores will emit trace events into it. The default is
+    {!Tracer.disabled} (a branch-only no-op). Recording never touches a
+    thread's clock or metrics, so virtual-time results are bit-identical
+    with tracing on or off. *)
+
+val tracer : t -> Tracer.t
+
 val work : ?scaled:bool -> thread -> Metrics.bucket -> int -> unit
 (** Advance the clock by CPU work (SMT-scaled unless [scaled:false]) and
     attribute it. Does not yield.

@@ -19,6 +19,7 @@ type t = {
   waiters : Sched.thread Queue.t;
   mutable contended_acquires : int;
   mutable acquires : int;
+  mutable acquired_at : int;  (* virtual time of the last acquisition *)
 }
 
 let create ?(name = "mutex") () =
@@ -30,6 +31,7 @@ let create ?(name = "mutex") () =
     waiters = Queue.create ();
     contended_acquires = 0;
     acquires = 0;
+    acquired_at = 0;
   }
 
 let transfer_cost (cost : Cost_model.t) m (th : Sched.thread) =
@@ -37,17 +39,21 @@ let transfer_cost (cost : Cost_model.t) m (th : Sched.thread) =
     cost.Cost_model.lock_acquire + cost.Cost_model.lock_remote_extra
   else cost.Cost_model.lock_acquire
 
+let wake_cost (cost : Cost_model.t) m (th : Sched.thread) =
+  if m.holder_socket >= 0 && m.holder_socket <> th.Sched.socket then
+    cost.Cost_model.lock_wake_remote
+  else cost.Cost_model.lock_wake_local
+
 (* Acquire [m]. Yields first so acquisitions happen in global virtual-time
-   order; all waiting time is charged to the [Lock] bucket. *)
+   order; all waiting time is charged to the [Lock] bucket. When tracing is
+   enabled the charges are mirrored as events — [Lock_wait] carries exactly
+   the waiting ns charged, [Lock_acquire] exactly the wake+transfer overhead
+   — so the profiler can rebuild [lock_ns] bit-exactly from the trace. *)
 let lock m (th : Sched.thread) =
   Sched.checkpoint th;
   let cost = Sched.cost th.Sched.sched in
   m.acquires <- m.acquires + 1;
-  let wake m th =
-    if m.holder_socket >= 0 && m.holder_socket <> th.Sched.socket then
-      cost.Cost_model.lock_wake_remote
-    else cost.Cost_model.lock_wake_local
-  in
+  let tr = Sched.tracer th.Sched.sched in
   if m.locked then begin
     m.contended_acquires <- m.contended_acquires + 1;
     Queue.push th m.waiters;
@@ -56,36 +62,68 @@ let lock m (th : Sched.thread) =
        futex wake latency before proceeding — and because our own release
        time moves back accordingly, sleepers queued behind us see it too:
        the convoy the paper observed. *)
-    Sched.work ~scaled:false th Metrics.Lock (wake m th);
-    Sched.work ~scaled:false th Metrics.Lock (transfer_cost cost m th);
-    m.holder_socket <- th.Sched.socket
+    let wk = wake_cost cost m th in
+    let tc = transfer_cost cost m th in
+    Sched.work ~scaled:false th Metrics.Lock wk;
+    Sched.work ~scaled:false th Metrics.Lock tc;
+    m.holder_socket <- th.Sched.socket;
+    if Tracer.enabled tr then
+      Tracer.instant tr Tracer.Lock_acquire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:(wk + tc)
+        ~b:(Tracer.intern tr m.name)
   end
   else begin
     let wait = m.available_at - Sched.now th in
-    if wait > 0 then begin
-      m.contended_acquires <- m.contended_acquires + 1;
-      Sched.wait th Metrics.Lock wait;
-      (* Short waits are absorbed by spinning; waits past the spin budget
-         mean we slept and must be woken. *)
-      if wait > cost.Cost_model.lock_spin_ns then
-        Sched.work ~scaled:false th Metrics.Lock (wake m th)
-    end;
-    Sched.work ~scaled:false th Metrics.Lock (transfer_cost cost m th);
+    let wk =
+      if wait > 0 then begin
+        m.contended_acquires <- m.contended_acquires + 1;
+        Sched.wait th Metrics.Lock wait;
+        (* Short waits are absorbed by spinning; waits past the spin budget
+           mean we slept and must be woken. *)
+        if wait > cost.Cost_model.lock_spin_ns then begin
+          let wk = wake_cost cost m th in
+          Sched.work ~scaled:false th Metrics.Lock wk;
+          wk
+        end
+        else 0
+      end
+      else 0
+    in
+    let tc = transfer_cost cost m th in
+    Sched.work ~scaled:false th Metrics.Lock tc;
     m.locked <- true;
-    m.holder_socket <- th.Sched.socket
-  end
+    m.holder_socket <- th.Sched.socket;
+    if Tracer.enabled tr then begin
+      let id = Tracer.intern tr m.name in
+      if wait > 0 then
+        Tracer.instant tr Tracer.Lock_wait ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:wait ~b:id;
+      Tracer.instant tr Tracer.Lock_acquire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:(wk + tc)
+        ~b:id
+    end
+  end;
+  m.acquired_at <- Sched.now th
 
 let unlock m (th : Sched.thread) =
   if not m.locked then invalid_arg "Sim_mutex.unlock: not locked";
   let release_time = Sched.now th in
+  let tr = Sched.tracer th.Sched.sched in
+  if Tracer.enabled tr then
+    Tracer.span tr Tracer.Lock_hold ~tid:th.Sched.tid ~ts:m.acquired_at
+      ~dur:(release_time - m.acquired_at) ~a:0 ~b:(Tracer.intern tr m.name);
   m.available_at <- release_time;
   match Queue.take_opt m.waiters with
   | None -> m.locked <- false
   | Some w ->
       (* FIFO handoff: the waiter's clock jumps to the release time and the
-         jump is charged as lock waiting. *)
+         jump is charged as lock waiting. The [Lock_wait] event is emitted
+         here, by the releaser, so the charge is in the trace even if the
+         waiter is abandoned at trial end before it resumes. *)
       let wait = release_time - Sched.now w in
-      if wait > 0 then Sched.wait w Metrics.Lock wait;
+      if wait > 0 then begin
+        Sched.wait w Metrics.Lock wait;
+        if Tracer.enabled tr then
+          Tracer.instant tr Tracer.Lock_wait ~tid:w.Sched.tid ~ts:(Sched.now w) ~a:wait
+            ~b:(Tracer.intern tr m.name)
+      end;
       Sched.ready w
 
 let with_lock m th f =

@@ -20,6 +20,7 @@ type t = {
   waiters : Sched.thread Queue.t;
   mutable contended_acquires : int;
   mutable acquires : int;
+  mutable acquired_at : int;  (** virtual time of the last acquisition *)
 }
 
 val create : ?name:string -> unit -> t

@@ -1,0 +1,31 @@
+(** Chrome trace-event (Perfetto-compatible) exporter.
+
+    Renders a {!Simcore.Tracer.t} to the JSON object format of the Chrome
+    trace-event specification: spans become ["X"] (complete) events and
+    instants become ["i"] events, grouped into two processes — pid 0 holds
+    the workload lanes (free/flush/refill/reclaim/lock/SMR events, one tid
+    per simulated thread) and pid 1 holds the scheduler lanes
+    (Run/Stall/Preempt).
+
+    Timestamps and durations are emitted as integer virtual {e nanoseconds}
+    even though the spec says microseconds: virtual ns are exact ints, and
+    scaling would either lose precision or force float rendering. Perfetto
+    and about://tracing load such files fine — every time reads 1000x
+    larger than the virtual-ns value, which EXPERIMENTS.md documents. *)
+
+val export : Simcore.Tracer.t -> Json.t
+(** The full trace document: [traceEvents] sorted by [(ts, -dur, seq)] so
+    that a parent span precedes the children sharing its start time,
+    process/thread-name metadata events, and an [otherData] object carrying
+    [recorded]/[retained]/[dropped] counts and the interned lock names. *)
+
+val write_file : string -> Simcore.Tracer.t -> unit
+(** [write_file path tr] renders {!export} to [path] (non-minified). *)
+
+val validate : Json.t -> string list
+(** Schema check used by the tests and [epochs validate-trace]: returns
+    [[]] when the document is well-formed, otherwise one message per
+    problem. Checks the required fields of every event ([name]/[ph]/[pid]/
+    [tid]/[ts] plus [dur] on ["X"] events), that timestamps are monotone
+    non-decreasing in file order, and that the ["X"] spans of each
+    [(pid, tid)] lane nest properly (no partial overlap). *)

@@ -121,6 +121,49 @@ let expected_digests =
     ("jemalloc-pool", "b4ea8801d9dd74e5dfb5ba980aba3966");
   ]
 
+(* The flush+refill hot path with tracing disabled (the default) must not
+   touch the minor heap: emission points compile to a branch on the
+   never-enabled sentinel. Steady state is established first so allocator
+   tables and free lists are at capacity; the measured segment then cycles
+   enough objects through a 16-slot tcache to force flushes and refills.
+   The only allocation tolerated is the float box of the Gc.minor_words
+   probe itself, measured by an empty segment. *)
+let test_flush_refill_zero_alloc () =
+  let sched = Helpers.make_sched ~n:1 () in
+  let config =
+    { Alloc.Alloc_intf.default_config with Alloc.Alloc_intf.tcache_cap = 16 }
+  in
+  let alloc = Alloc.Registry.make ~config "jemalloc" sched in
+  let extra_words = ref infinity in
+  Sched.spawn sched (Sched.thread sched 0) (fun th ->
+      let n = 256 in
+      let handles = Array.make n 0 in
+      let cycle () =
+        for i = 0 to n - 1 do
+          handles.(i) <- alloc.Alloc.Alloc_intf.malloc th 240
+        done;
+        for i = 0 to n - 1 do
+          alloc.Alloc.Alloc_intf.free th handles.(i)
+        done
+      in
+      cycle ();
+      (* warm: tables, bins and scratch reach steady state *)
+      Sched.atomically th (fun () ->
+          (* [atomically] suppresses checkpoints, so the measured window
+             contains only the allocator's own malloc/flush/refill/free work
+             — the scheduler's coroutine yields (one continuation per
+             [Effect.perform]) are its machinery, not the allocator path,
+             and are excluded by entering the atomic section before the
+             first probe read. *)
+          let m0 = Gc.minor_words () in
+          let m1 = Gc.minor_words () in
+          let probe_overhead = m1 -. m0 in
+          cycle ();
+          let m2 = Gc.minor_words () in
+          extra_words := m2 -. m1 -. probe_overhead));
+  Sched.run sched;
+  Alcotest.(check (float 0.)) "minor words on flush/refill path" 0. !extra_words
+
 let test_digest_stability () =
   let base =
     {
@@ -143,7 +186,13 @@ let test_digest_stability () =
     (fun (alloc, expected) ->
       let cfg = { base with Runtime.Config.alloc } in
       let t = Runtime.Runner.run_trial cfg ~seed:cfg.Runtime.Config.seed in
-      Alcotest.(check string) alloc expected (Runtime.Trial.digest t))
+      Alcotest.(check string) alloc expected (Runtime.Trial.digest t);
+      (* The same digests must hold with event tracing enabled: recording
+         is invisible to virtual time on every allocator model. *)
+      let tracer = Tracer.create () in
+      let t = Runtime.Runner.run_trial ~tracer cfg ~seed:cfg.Runtime.Config.seed in
+      Alcotest.(check string) (alloc ^ " traced") expected (Runtime.Trial.digest t);
+      Alcotest.(check bool) (alloc ^ " trace non-empty") true (Tracer.recorded tracer > 0))
     expected_digests
 
 let suite =
@@ -157,5 +206,6 @@ let suite =
       Helpers.quick "group_scratch_reuse" test_group_scratch_reuse;
       Helpers.quick "group_bad_len" test_group_bad_len;
       prop_group_matches_stable_sort;
+      Helpers.quick "flush_refill_zero_alloc" test_flush_refill_zero_alloc;
       Helpers.quick "digest_stability" test_digest_stability;
     ] )
