@@ -1,6 +1,7 @@
-.PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-diff examples \
-	regress regress-exact regress-perf regress-bless simcheck-smoke simcheck-selftest \
-	trace-smoke fmt fmt-check deps deps-fmt clean
+.PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-diff \
+	bench-diff-gate examples regress regress-exact regress-perf regress-bless \
+	regress-paper regress-bless-paper trace-paper queue-crosscheck \
+	simcheck-smoke simcheck-selftest trace-smoke fmt fmt-check deps deps-fmt clean
 
 all: build
 
@@ -75,11 +76,46 @@ trace-smoke:
 		--threads 8 --keys 256 --duration 8 --trace trace-smoke.trace.json
 	dune exec bin/epochs.exe -- validate-trace trace-smoke.trace.json
 
+# Paper-scale tier: the 192-thread configurations of the paper's headline
+# figures (ABtree on the 4-socket topology, all six allocator models x
+# {debra, token} x batch/AF), gated bit-exactly against their own blessed
+# baselines. ~2 min single-domain; CI runs it on a schedule, not per PR.
+regress-paper:
+	dune exec bin/simbench.exe -- check --tier paper --exact \
+		--out simbench-paper-results.json --bench-out BENCH_simbench_paper.json
+
+# One traced paper-scale entry: writes paper-traces/<id>.trace.json for
+# Perfetto. Tracing never perturbs virtual time, so the results JSON is
+# byte-identical to the untraced gate run.
+trace-paper:
+	dune exec bin/simbench.exe -- run --only paper-je-ebr-n192 --trace paper-traces \
+		--out paper-trace-results.json --bench-out paper-trace-bench.json
+
+# Event-queue cross-validation: the same entries under the heap and the
+# wheel must produce byte-identical result JSONs (the two implementations
+# differ only in host time). Mirrors the jobs=1 vs jobs=2 diff job.
+queue-crosscheck:
+	dune exec bin/simbench.exe -- run --only ll-ebr-n1,sl-token-n32,occ-ebr-n32 \
+		--queue wheel --out crosscheck-wheel.json --bench-out crosscheck-wheel-bench.json
+	dune exec bin/simbench.exe -- run --only ll-ebr-n1,sl-token-n32,occ-ebr-n32 \
+		--queue heap --out crosscheck-heap.json --bench-out crosscheck-heap-bench.json
+	cmp crosscheck-wheel.json crosscheck-heap.json
+
+# Gating form of bench-diff: fail on >25% wall-clock regression of any
+# suite entry vs the cached previous BENCH file. CI skips the gate when the
+# commit message contains [bench-skip] (see .github/workflows/ci.yml);
+# policy in EXPERIMENTS.md.
+bench-diff-gate:
+	dune exec bin/simbench.exe -- bench-diff --gate 25 $(PREV_BENCH) BENCH_simbench.json
+
 # Re-record the golden baselines (multi-seed, derives the perf tolerances).
 # Review the diff before committing: blessing legitimizes whatever the
 # current build produces.
 regress-bless:
 	dune exec bin/simbench.exe -- bless
+
+regress-bless-paper:
+	dune exec bin/simbench.exe -- bless --tier paper
 
 fmt:
 	@if command -v ocamlformat >/dev/null 2>&1; then \

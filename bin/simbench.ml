@@ -72,9 +72,71 @@ let trace_dir_arg =
            $(docv)/<id>.trace.json (open in Perfetto). Tracing never perturbs virtual time: \
            the results JSON stays byte-identical to an untraced run.")
 
+let tier_arg =
+  Arg.(
+    value
+    & opt string Regress.Suite.default_tier
+    & info [ "tier" ] ~docv:"TIER"
+        ~doc:
+          "Suite tier to select: $(b,pr) (small per-PR entries, the default), $(b,paper) \
+           (192-thread paper-scale entries), or $(b,all).")
+
+let only_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "only" ] ~docv:"IDS"
+        ~doc:"Comma-separated entry ids to run, looked up across every tier. Overrides --tier.")
+
+let queue_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "queue" ] ~docv:"KIND"
+        ~doc:
+          "Scheduler event-queue implementation: $(b,heap) or $(b,wheel). Defaults to the \
+           $(b,EPOCHS_EVENT_QUEUE) environment variable, else the wheel. Results are \
+           bit-identical under either; the flag exists for cross-validation and bisection.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
+
+let select_entries ~tier ~only entries =
+  match only with
+  | Some ids ->
+      let ids =
+        String.split_on_char ',' ids |> List.map String.trim |> List.filter (fun s -> s <> "")
+      in
+      let missing =
+        List.filter
+          (fun id -> not (List.exists (fun (e : Regress.Suite.entry) -> e.id = id) entries))
+          ids
+      in
+      if missing <> [] then die "simbench: unknown entry id(s): %s" (String.concat ", " missing);
+      List.filter (fun (e : Regress.Suite.entry) -> List.mem e.Regress.Suite.id ids) entries
+  | None -> (
+      match Regress.Suite.filter_tier ~tier entries with
+      | [] ->
+          die "simbench: no entries in tier %S (tiers present: %s)" tier
+            (String.concat ", " (Regress.Suite.tier_names entries))
+      | es -> es)
+
+let apply_queue ~queue entries =
+  match queue with
+  | None -> entries
+  | Some s -> (
+      match Simcore.Event_queue.of_string s with
+      | Error msg -> die "simbench: %s" msg
+      | Ok k ->
+          List.map
+            (fun (e : Regress.Suite.entry) ->
+              {
+                e with
+                Regress.Suite.config =
+                  { e.Regress.Suite.config with Runtime.Config.event_queue = Some k };
+              })
+            entries)
 
 (* Wall-clock and GC self-measurement. Virtual-time results are
    deterministic; wall_ns and the allocation counters are the deliberately
@@ -225,12 +287,13 @@ let run_suite ?trace_dir ~jobs entries =
   (results, timings, total.wall_ns)
 
 let run_cmd =
-  let run suite out bench_out jobs trace_dir =
+  let run suite out bench_out jobs trace_dir tier only queue =
     let jobs = resolve_jobs jobs in
     (match trace_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
     let entries, suite_label = load_suite suite in
+    let entries = apply_queue ~queue (select_entries ~tier ~only entries) in
     let results, timings, total_wall_ns = run_suite ?trace_dir ~jobs entries in
     print_string (summary_table results);
     write_results ~out ~suite_label results;
@@ -242,18 +305,21 @@ let run_cmd =
   in
   Cmd.v
     (Cmd.info "run" ~doc:"Run the suite and write its results as canonical JSON.")
-    Term.(const run $ suite_arg $ out_arg $ bench_out_arg $ jobs_arg $ trace_dir_arg)
+    Term.(
+      const run $ suite_arg $ out_arg $ bench_out_arg $ jobs_arg $ trace_dir_arg $ tier_arg
+      $ only_arg $ queue_arg)
 
 let check_cmd =
   let exact_flag = Arg.(value & flag & info [ "exact" ] ~doc:"Digest gate: bit-exact determinism.") in
   let perf_flag =
     Arg.(value & flag & info [ "perf" ] ~doc:"Tolerance gate: throughput and peak garbage.")
   in
-  let run suite baselines out bench_out jobs exact perf =
+  let run suite baselines out bench_out jobs exact perf tier only queue =
     (* No mode flag means both gates. *)
     let exact, perf = if exact || perf then (exact, perf) else (true, true) in
     let jobs = resolve_jobs jobs in
     let entries, suite_label = load_suite suite in
+    let entries = apply_queue ~queue (select_entries ~tier ~only entries) in
     let results, timings, total_wall_ns = run_suite ~jobs entries in
     let findings =
       List.concat_map
@@ -280,13 +346,14 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run the suite and compare against the golden baselines.")
     Term.(
       const run $ suite_arg $ baselines_arg $ out_arg $ bench_out_arg $ jobs_arg $ exact_flag
-      $ perf_flag)
+      $ perf_flag $ tier_arg $ only_arg $ queue_arg)
 
 let bless_cmd =
-  let run suite baselines seeds jobs =
+  let run suite baselines seeds jobs tier only =
     if seeds < 1 then die "simbench: --seeds must be at least 1";
     let jobs = resolve_jobs jobs in
     let entries, _ = load_suite suite in
+    let entries = select_entries ~tier ~only entries in
     (* Fan the full (entry, seed) cross product out at once: the variance
        estimation is seeds x entries independent trials, the widest
        parallelism this command has to offer. *)
@@ -321,12 +388,12 @@ let bless_cmd =
   in
   Cmd.v
     (Cmd.info "bless" ~doc:"Regenerate the golden baselines (with multi-seed tolerances).")
-    Term.(const run $ suite_arg $ baselines_arg $ seeds_arg $ jobs_arg)
+    Term.(const run $ suite_arg $ baselines_arg $ seeds_arg $ jobs_arg $ tier_arg $ only_arg)
 
-(* Advisory wall-clock trajectory comparison. Wall times on shared CI
-   runners are noisy, so this never fails the build: it renders the
-   per-entry movement between two --bench-out files and always exits 0.
-   A missing previous file (first run, cold cache) is not an error. *)
+(* Wall-clock trajectory comparison. Advisory by default (wall times on
+   shared CI runners are noisy); with --gate PCT any entry more than PCT%
+   slower than the previous --bench-out file fails the command. A missing
+   previous file (first run, cold cache) is never an error. *)
 let bench_diff_cmd =
   let prev_arg =
     Arg.(
@@ -354,8 +421,18 @@ let bench_diff_cmd =
           (Json.to_int (Json.member "wall_ns" e), opt "minor_words") ))
       (Json.to_list (Json.member "entries" j))
   in
+  let gate_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "gate" ] ~docv:"PCT"
+          ~doc:
+            "Fail (exit 1) when any entry is more than $(docv)% slower than in PREV. Without \
+             this flag the comparison is advisory and always exits 0. A commit can opt out \
+             of the CI gate with $(b,[bench-skip]) in its message.")
+  in
   let ms ns = Printf.sprintf "%.1f" (float_of_int ns /. 1e6) in
-  let run prev cur =
+  let run prev cur gate =
     if not (Sys.file_exists cur) then die "simbench: %s does not exist" cur;
     if not (Sys.file_exists prev) then
       Printf.printf
@@ -363,6 +440,8 @@ let bench_diff_cmd =
     else begin
       let pj = load prev and cj = load cur in
       let pe = entries pj in
+      let limit = match gate with Some pct -> 1.0 +. (pct /. 100.) | None -> infinity in
+      let regressions = ref [] in
       let table =
         Report.Table.create [ "entry"; "prev ms"; "cur ms"; "ratio"; "minor words"; "" ]
       in
@@ -372,13 +451,17 @@ let bench_diff_cmd =
           | None -> Report.Table.add_row table [ id; "-"; ms cur_ns; "-"; "-"; "new entry" ]
           | Some (prev_ns, prev_words) ->
               let ratio = float_of_int cur_ns /. float_of_int (max 1 prev_ns) in
+              if ratio > limit then regressions := (id, ratio) :: !regressions;
               let words =
                 match (prev_words, cur_words) with
                 | Some p, Some c -> Printf.sprintf "%d -> %d" p c
                 | _ -> "-"
               in
               let note =
-                if ratio > 1.25 then "slower" else if ratio < 0.80 then "faster" else ""
+                if ratio > limit then "REGRESSION"
+                else if ratio > 1.25 then "slower"
+                else if ratio < 0.80 then "faster"
+                else ""
               in
               Report.Table.add_row table
                 [ id; ms prev_ns; ms cur_ns; Printf.sprintf "%.2fx" ratio; words; note ])
@@ -387,25 +470,44 @@ let bench_diff_cmd =
       let total j = Json.to_int (Json.member "total_wall_ns" j) in
       Printf.printf "total: %s ms -> %s ms (%.2fx)\n" (ms (total pj)) (ms (total cj))
         (float_of_int (total cj) /. float_of_int (max 1 (total pj)));
-      print_endline "bench-diff is advisory: wall-clock movement never gates."
+      match gate with
+      | None -> print_endline "bench-diff is advisory: wall-clock movement never gates."
+      | Some pct ->
+          let regs = List.rev !regressions in
+          if regs = [] then
+            Printf.printf "bench-diff gate: no entry regressed more than %.0f%%\n" pct
+          else begin
+            Printf.printf "bench-diff gate FAILED: %d entr%s regressed more than %.0f%%:\n"
+              (List.length regs)
+              (if List.length regs = 1 then "y" else "ies")
+              pct;
+            List.iter (fun (id, r) -> Printf.printf "  %-22s %.2fx\n" id r) regs;
+            print_endline
+              "If the slowdown is expected (new work per entry, intentional trade-off), put \
+               [bench-skip] in the commit message to skip this gate for one commit.";
+            exit 1
+          end
     end
   in
   Cmd.v
     (Cmd.info "bench-diff"
-       ~doc:"Advisory wall-clock comparison of two --bench-out files (always exits 0).")
-    Term.(const run $ prev_arg $ cur_arg)
+       ~doc:
+         "Wall-clock comparison of two --bench-out files: advisory by default, a hard gate \
+          with --gate PCT.")
+    Term.(const run $ prev_arg $ cur_arg $ gate_arg)
 
 let list_cmd =
-  let run suite =
+  let run suite tier =
     let entries, suite_label = load_suite suite in
-    Printf.printf "suite: %s (%d entries)\n" suite_label (List.length entries);
+    let entries = Regress.Suite.filter_tier ~tier entries in
+    Printf.printf "suite: %s (%d entries, tier %s)\n" suite_label (List.length entries) tier;
     List.iter
       (fun (e : Regress.Suite.entry) ->
-        Printf.printf "  %-18s %s\n" e.Regress.Suite.id
+        Printf.printf "  %-22s %-6s %s\n" e.Regress.Suite.id e.Regress.Suite.tier
           (Runtime.Config.label e.Regress.Suite.config))
       entries
   in
-  Cmd.v (Cmd.info "list" ~doc:"List the suite entries.") Term.(const run $ suite_arg)
+  Cmd.v (Cmd.info "list" ~doc:"List the suite entries.") Term.(const run $ suite_arg $ tier_arg)
 
 let manifest_cmd =
   let out_arg =

@@ -76,7 +76,10 @@ let try_advance t st (th : Sched.thread) e =
   let cost = Sched.cost t.ctx.Smr_intf.sched in
   Sched.work th Metrics.Smr cost.Cost_model.read_slot;
   if t.announce.(st.scan_idx) = e then begin
-    st.scan_idx <- (st.scan_idx + 1) mod n;
+    (* [scan_idx] is always in [0, n): wrap with a compare, not an idiv —
+       this runs every [check_every] ops on every thread. *)
+    let i = st.scan_idx + 1 in
+    st.scan_idx <- (if i = n then 0 else i);
     if st.scan_idx = th.Sched.tid then begin
       (* Seen every other thread (and ourselves) in epoch e: advance. *)
       if t.epoch = e then begin

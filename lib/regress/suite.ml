@@ -1,10 +1,19 @@
-(* The curated simbench suite. Configurations are deliberately tiny — a few
-   virtual milliseconds each — because the gate must run on every PR; the
-   paper-scale numbers live in bench/, not here. *)
+(* The curated simbench suite, in tiers.
 
-type entry = { id : string; config : Runtime.Config.t }
+   - "pr": deliberately tiny configurations — a few virtual milliseconds
+     each — because the exact gate must run on every PR.
+   - "paper": the paper's headline shape — 192 virtual threads on the
+     4-socket Xeon 8160 topology, every allocator model crossed with
+     {debra, token} x {batch, amortized free} — gated on a schedule and
+     on demand, not per PR.
+
+   Both tiers carry golden baselines; `simbench --tier` selects which to
+   run (default "pr", so PR CI latency is unaffected by the paper tier). *)
+
+type entry = { id : string; tier : string; config : Runtime.Config.t }
 
 let schema_version = 1
+let default_tier = "pr"
 
 (* Small windows, steady-state prefill, safety validator armed. The list
    runs on a smaller key range: its operations are O(n) and 512 keys
@@ -25,9 +34,9 @@ let base ~ds ~smr ~threads =
     validate = true;
   }
 
-let builtin =
+let pr_tier =
   List.map
-    (fun (id, ds, smr, threads) -> { id; config = base ~ds ~smr ~threads })
+    (fun (id, ds, smr, threads) -> { id; tier = "pr"; config = base ~ds ~smr ~threads })
     [
       (* EBR (DEBRA) vs Token-EBR vs their amortized-free variants, over the
          three structures and 1/8/32 simulated threads. *)
@@ -45,6 +54,55 @@ let builtin =
       ("occ-token-af-n32", "occtree", "token_af", 32);
     ]
 
+(* Paper-scale: the ABtree (the paper's RBF victim) at the testbed's full
+   192 threads, all six allocator models x {debra, token} x {batch, AF}.
+   Virtual windows are kept short — 192 threads generate ~6x the events of
+   the n32 entries per virtual ns, and this tier is 24 entries. *)
+let paper_base ~smr ~alloc =
+  {
+    Runtime.Config.default with
+    Runtime.Config.ds = "abtree";
+    smr;
+    alloc;
+    threads = 192;
+    topology = Simcore.Topology.intel_192t;
+    key_range = 8192;
+    warmup_ns = 1_000_000;
+    duration_ns = 4_000_000;
+    grace_ns = 4_000_000;
+    seed = 42;
+    trials = 1;
+    validate = true;
+  }
+
+let paper_tier =
+  List.concat_map
+    (fun (alloc, tag) ->
+      List.map
+        (fun (smr, smr_tag) ->
+          {
+            id = Printf.sprintf "paper-%s-%s-n192" tag smr_tag;
+            tier = "paper";
+            config = paper_base ~smr ~alloc;
+          })
+        [ ("debra", "ebr"); ("debra_af", "ebr-af"); ("token", "token"); ("token_af", "token-af") ])
+    [
+      ("jemalloc", "je");
+      ("jemalloc-ba", "jeba");
+      ("jemalloc-pool", "jepool");
+      ("tcmalloc", "tc");
+      ("mimalloc", "mi");
+      ("leak", "leak");
+    ]
+
+let builtin = pr_tier @ paper_tier
+
+let tier_names entries =
+  List.sort_uniq compare (List.map (fun e -> e.tier) entries)
+
+let filter_tier ~tier entries =
+  if tier = "all" then entries else List.filter (fun e -> e.tier = tier) entries
+
 let to_manifest entries =
   Json.Assoc
     [
@@ -54,7 +112,9 @@ let to_manifest entries =
           (List.map
              (fun e ->
                match Runtime.Config.to_json e.config with
-               | Json.Assoc fields -> Json.Assoc (("id", Json.String e.id) :: fields)
+               | Json.Assoc fields ->
+                   Json.Assoc
+                     (("id", Json.String e.id) :: ("tier", Json.String e.tier) :: fields)
                | j -> j)
              entries) );
     ]
@@ -81,9 +141,18 @@ let of_manifest j =
         | Json.String _ -> failwith "entry with empty id"
         | _ -> failwith "entry missing id"
       in
-      let overrides = List.filter (fun (k, _) -> k <> "id") (Json.to_assoc ej) in
+      let tier =
+        match Json.member "tier" ej with
+        | Json.Null -> default_tier
+        | Json.String t when t <> "" && t <> "all" -> t
+        | Json.String _ -> failwith (Printf.sprintf "entry %S: invalid tier" id)
+        | _ -> failwith (Printf.sprintf "entry %S: tier must be a string" id)
+      in
+      let overrides =
+        List.filter (fun (k, _) -> k <> "id" && k <> "tier") (Json.to_assoc ej)
+      in
       match Runtime.Config.of_json ~base:defaults (Json.Assoc overrides) with
-      | Ok config -> { id; config }
+      | Ok config -> { id; tier; config }
       | Error msg -> failwith (Printf.sprintf "entry %S: %s" id msg)
     in
     let entries = List.map entry (Json.to_list (Json.member "entries" j)) in

@@ -7,11 +7,24 @@
     {!builtin} is the same list compiled in, used as the fallback when the
     manifest is absent and as the generator for [simbench manifest]. *)
 
-type entry = { id : string; config : Runtime.Config.t }
+type entry = { id : string; tier : string; config : Runtime.Config.t }
 
 val builtin : entry list
-(** ~12 configurations: {debra, token} × batch/amortized free ×
-    {list, skiplist, occtree} × {1, 8, 32} simulated threads. *)
+(** Two tiers. ["pr"]: ~12 small configurations, {debra, token} ×
+    batch/amortized free × {list, skiplist, occtree} × {1, 8, 32}
+    simulated threads — the per-PR gate. ["paper"]: 24 paper-scale
+    configurations — the ABtree at 192 threads on the 4-socket Xeon
+    topology, all six allocator models × {debra, token} × batch/AF —
+    gated on a schedule. *)
+
+val default_tier : string
+(** ["pr"], the tier commands select when none is named. *)
+
+val tier_names : entry list -> string list
+(** Distinct tiers present, sorted. *)
+
+val filter_tier : tier:string -> entry list -> entry list
+(** Entries of one tier; ["all"] selects everything. *)
 
 val to_manifest : entry list -> Json.t
 (** Manifest form: schema version plus one full config object per entry. *)

@@ -37,6 +37,12 @@ type t = {
   debra_check_every : int;  (* ops between DEBRA announcement scans *)
   alloc_config : Alloc.Alloc_intf.config;
   cost : Cost_model.t;
+  event_queue : Event_queue.kind option;
+      (* scheduler event-queue implementation; [None] defers to
+         [Event_queue.default_kind] (the EPOCHS_EVENT_QUEUE env var, else
+         the wheel). Both kinds are bit-identical, so this is not part of
+         the experiment definition and — like [alloc_config] and [cost] —
+         never appears in manifests. *)
 }
 
 let default =
@@ -64,6 +70,7 @@ let default =
     debra_check_every = 3;
     alloc_config = Alloc.Alloc_intf.default_config;
     cost = Cost_model.default;
+    event_queue = None;
   }
 
 let label cfg =

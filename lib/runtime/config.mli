@@ -35,6 +35,10 @@ type t = {
   debra_check_every : int;
   alloc_config : Alloc.Alloc_intf.config;
   cost : Cost_model.t;
+  event_queue : Event_queue.kind option;
+      (** scheduler event-queue implementation; [None] defers to
+          {!Simcore.Event_queue.default_kind}. Bit-identical either way,
+          so not manifest-expressible (like [alloc_config] and [cost]) *)
 }
 
 val default : t

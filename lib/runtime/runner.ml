@@ -43,19 +43,21 @@ let do_op (cfg : Config.t) (smr : Smr.Smr_intf.t) (ds : Ds.Ds_intf.t) safety per
   let key = sample th in
   let coin = Rng.float th.Sched.rng in
   (* The operation itself is atomic (linearizable): no other simulated
-     thread interleaves with the tree mutation. *)
+     thread interleaves with the tree mutation. The bracket form avoids a
+     fresh closure per operation; the ds operations do not raise. *)
+  Sched.atomic_enter th;
   let result =
-    Sched.atomically th (fun () ->
-        if coin < cfg.Config.insert_pct then begin
-          th.Sched.metrics.Metrics.inserts <- th.Sched.metrics.Metrics.inserts + 1;
-          ds.Ds.Ds_intf.insert th key
-        end
-        else if coin < cfg.Config.insert_pct +. cfg.Config.delete_pct then begin
-          th.Sched.metrics.Metrics.deletes <- th.Sched.metrics.Metrics.deletes + 1;
-          ds.Ds.Ds_intf.delete th key
-        end
-        else ds.Ds.Ds_intf.contains th key)
+    if coin < cfg.Config.insert_pct then begin
+      th.Sched.metrics.Metrics.inserts <- th.Sched.metrics.Metrics.inserts + 1;
+      ds.Ds.Ds_intf.insert th key
+    end
+    else if coin < cfg.Config.insert_pct +. cfg.Config.delete_pct then begin
+      th.Sched.metrics.Metrics.deletes <- th.Sched.metrics.Metrics.deletes + 1;
+      ds.Ds.Ds_intf.delete th key
+    end
+    else ds.Ds.Ds_intf.contains th key
   in
+  Sched.atomic_exit th;
   if per_node_scaled > 0 then
     Sched.work th Metrics.Smr (result.Ds.Ds_intf.visited * per_node_scaled);
   smr.Smr.Smr_intf.end_op th;
@@ -66,7 +68,8 @@ let do_op (cfg : Config.t) (smr : Smr.Smr_intf.t) (ds : Ds.Ds_intf.t) safety per
 let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
   let n = cfg.Config.threads in
   let sched =
-    Sched.create ~cost:cfg.Config.cost ~topology:cfg.Config.topology ~n_threads:n ~seed ()
+    Sched.create ~cost:cfg.Config.cost ?event_queue:cfg.Config.event_queue
+      ~topology:cfg.Config.topology ~n_threads:n ~seed ()
   in
   (* Tracing covers the whole trial (setup, prefill, measured window); the
      profiler isolates the measured window via the Measure_start markers
@@ -156,7 +159,9 @@ let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
       smr.Smr.Smr_intf.begin_op th;
       Sched.work th Metrics.Ds cfg.Config.cost.Cost_model.op_fixed;
       let key = Rng.int_below th.Sched.rng cfg.Config.key_range in
-      let r = Sched.atomically th (fun () -> ds.Ds.Ds_intf.insert th key) in
+      Sched.atomic_enter th;
+      let r = ds.Ds.Ds_intf.insert th key in
+      Sched.atomic_exit th;
       if r.Ds.Ds_intf.changed then incr inserted;
       smr.Smr.Smr_intf.end_op th;
       Sched.checkpoint th

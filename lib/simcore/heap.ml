@@ -8,10 +8,22 @@ type 'a t = {
   mutable data : 'a array;
   mutable len : int;
   dummy : 'a;
+  mutable last : int;  (* last popped key *)
+  mutable check : bool;  (* reject pushes behind [last] *)
 }
 
 let create ~dummy =
-  { keys = Array.make 64 0; seqs = Array.make 64 0; data = Array.make 64 dummy; len = 0; dummy }
+  {
+    keys = Array.make 64 0;
+    seqs = Array.make 64 0;
+    data = Array.make 64 dummy;
+    len = 0;
+    dummy;
+    last = min_int;
+    check = false;
+  }
+
+let enable_monotone_check t = t.check <- true
 
 let length t = t.len
 let is_empty t = t.len = 0
@@ -60,6 +72,13 @@ let grow t =
   t.data <- data
 
 let push t ~key ~seq x =
+  if t.check && key < t.last then
+    failwith
+      (Printf.sprintf
+         "Heap.push: clock regression — key %d is before the last popped key %d; the \
+          scheduler's event keys must be monotone non-decreasing (a scheduler bug, not a \
+          queue bug)"
+         key t.last);
   if t.len = Array.length t.keys then grow t;
   t.keys.(t.len) <- key;
   t.seqs.(t.len) <- seq;
@@ -67,22 +86,28 @@ let push t ~key ~seq x =
   t.len <- t.len + 1;
   sift_up t (t.len - 1)
 
-let pop t =
-  if t.len = 0 then None
-  else begin
-    let x = t.data.(0) in
-    t.len <- t.len - 1;
-    t.keys.(0) <- t.keys.(t.len);
-    t.seqs.(0) <- t.seqs.(t.len);
-    t.data.(0) <- t.data.(t.len);
-    t.data.(t.len) <- t.dummy;
-    if t.len > 0 then sift_down t 0;
-    Some x
-  end
+(* Remove and return the root. Precondition: [t.len > 0]. *)
+let take t =
+  let x = t.data.(0) in
+  t.last <- t.keys.(0);
+  t.len <- t.len - 1;
+  t.keys.(0) <- t.keys.(t.len);
+  t.seqs.(0) <- t.seqs.(t.len);
+  t.data.(0) <- t.data.(t.len);
+  t.data.(t.len) <- t.dummy;
+  if t.len > 0 then sift_down t 0;
+  x
 
+let pop t = if t.len = 0 then None else Some (take t)
 let peek_key t = if t.len = 0 then None else Some t.keys.(0)
 
 (* The scheduler's event-loop fast path: pop the minimum element only when
    its key is within [bound], in one call instead of a [peek_key] followed
    by a [pop]. *)
-let pop_le t ~bound = if t.len > 0 && t.keys.(0) <= bound then pop t else None
+let pop_le t ~bound = if t.len > 0 && t.keys.(0) <= bound then Some (take t) else None
+
+(* As [pop_le] but returning the dummy sentinel instead of [None]: the
+   dispatch loop's no-allocation variant. *)
+let pop_le_default t ~bound = if t.len > 0 && t.keys.(0) <= bound then take t else t.dummy
+
+let has_le t ~bound = t.len > 0 && t.keys.(0) <= bound

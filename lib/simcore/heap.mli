@@ -9,9 +9,19 @@ val create : dummy:'a -> 'a t
 val length : 'a t -> int
 val is_empty : 'a t -> bool
 
+val enable_monotone_check : 'a t -> unit
+(** After this call, {!push} raises a descriptive [Failure] when given a
+    key earlier than the last popped key, instead of silently reordering.
+    The scheduler enables this on its event queue: its keys are thread
+    clocks, which only move forward, so a regressing key is a scheduler
+    bug worth failing loudly on. Off by default (a bare heap has no
+    monotonicity contract). *)
+
 val push : 'a t -> key:int -> seq:int -> 'a -> unit
 (** [push h ~key ~seq x] inserts [x] with primary key [key] (virtual time)
-    and tie-break [seq]. *)
+    and tie-break [seq].
+    @raise Failure on a clock regression when {!enable_monotone_check} is
+    on. *)
 
 val pop : 'a t -> 'a option
 (** Removes and returns the minimum element. *)
@@ -24,3 +34,11 @@ val pop_le : 'a t -> bound:int -> 'a option
     [<= bound], in a single heap access — the scheduler's event-loop fast
     path. Returns [None] when the heap is empty or the minimum is beyond
     [bound]. *)
+
+val pop_le_default : 'a t -> bound:int -> 'a
+(** As {!pop_le} but returns the [dummy] sentinel instead of [None],
+    allocating nothing per event. Compare the result against the dummy
+    physically. *)
+
+val has_le : 'a t -> bound:int -> bool
+(** Whether some element has key [<= bound] (exact, O(1)). *)

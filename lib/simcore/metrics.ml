@@ -56,7 +56,7 @@ let create () =
 
 (* [add t ~in_free ~in_flush bucket ns] attributes [ns] of virtual time.
    The [in_free]/[in_flush] flags implement inclusive accounting. *)
-let add t ~in_free ~in_flush bucket ns =
+let[@inline] add t ~in_free ~in_flush bucket ns =
   t.total_ns <- t.total_ns + ns;
   if in_free then t.free_ns <- t.free_ns + ns;
   if in_flush then t.flush_ns <- t.flush_ns + ns;

@@ -30,9 +30,9 @@ let no_hooks () =
     on_epoch_garbage = (fun ~epoch:_ ~count:_ -> ());
   }
 
-(* Event-heap payload. A thread parks its pending effect continuation in
+(* Event-queue payload. A thread parks its pending effect continuation in
    its own [pending] cell and is enqueued as its pre-allocated [Resume]
-   task, so the checkpoint -> Heap.push cycle of the hot loop allocates
+   task, so the checkpoint -> push cycle of the hot loop allocates
    nothing; one-off thunks (thread entry bodies) use [Run]. *)
 type task = Run of (unit -> unit) | Resume of thread
 
@@ -57,7 +57,7 @@ and thread = {
 }
 
 and t = {
-  heap : task Heap.t;
+  queue : task Event_queue.t;
   mutable seq : int;
   cost : Cost_model.t;
   topology : Topology.t;
@@ -79,11 +79,18 @@ type _ Effect.t += Suspend : thread -> unit Effect.t
 
 let quantum_ns = 1_000_000  (* 1 virtual ms, a Linux-like timeslice *)
 
-let create ?(cost = Cost_model.default) ~topology ~n_threads ~seed () =
+(* Queue-empty sentinel for [Event_queue.pop_le_default]: never executed,
+   recognised by physical equality in the dispatch loops. *)
+let dummy_task : task = Run ignore
+
+let create ?(cost = Cost_model.default) ?event_queue ~topology ~n_threads ~seed () =
   if n_threads <= 0 then invalid_arg "Sched.create: n_threads must be positive";
+  let kind =
+    match event_queue with Some k -> k | None -> Event_queue.default_kind ()
+  in
   let sched =
     {
-      heap = Heap.create ~dummy:(Run ignore);
+      queue = Event_queue.create ~kind ~dummy:dummy_task;
       seq = 0;
       cost;
       topology;
@@ -129,6 +136,7 @@ let create ?(cost = Cost_model.default) ~topology ~n_threads ~seed () =
 
 let threads t = t.threads
 let thread t i = t.threads.(i)
+let event_queue t = Event_queue.kind t.queue
 let cost t = t.cost
 let topology t = t.topology
 let n_threads t = t.n_threads
@@ -141,13 +149,20 @@ let tracer t = t.tracer
 
 let enqueue sched ~key f =
   sched.seq <- sched.seq + 1;
-  Heap.push sched.heap ~key ~seq:sched.seq f
+  Event_queue.push sched.queue ~key ~seq:sched.seq f
 
 (* Advance [th]'s clock by [ns] of *CPU work*, scaled by the SMT factor and
    attributed to [bucket]. Does not yield. *)
 let work ?(scaled = true) th bucket ns =
   if ns < 0 then invalid_arg "Sched.work: negative cost";
-  let ns = if scaled then int_of_float (float_of_int ns *. th.cpu_factor +. 0.5) else ns in
+  (* [cpu_factor = 1.0] (every thread on an unshared core) makes the
+     scaling the identity — [int_of_float (float_of_int ns +. 0.5) = ns]
+     for [ns >= 0] — so skip the float round-trip on this hot path. *)
+  let ns =
+    if scaled && th.cpu_factor <> 1.0 then
+      int_of_float ((float_of_int ns *. th.cpu_factor) +. 0.5)
+    else ns
+  in
   th.clock <- th.clock + ns;
   Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns
 
@@ -161,7 +176,11 @@ let work_n ?(scaled = true) th bucket ~per ~count =
   if per < 0 then invalid_arg "Sched.work_n: negative cost";
   if count < 0 then invalid_arg "Sched.work_n: negative count";
   if count > 0 then begin
-    let per = if scaled then int_of_float (float_of_int per *. th.cpu_factor +. 0.5) else per in
+    let per =
+      if scaled && th.cpu_factor <> 1.0 then
+        int_of_float ((float_of_int per *. th.cpu_factor) +. 0.5)
+      else per
+    in
     let ns = count * per in
     th.clock <- th.clock + ns;
     Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush bucket ns
@@ -201,9 +220,13 @@ let maybe_preempt th =
    Suppressed inside [atomically] sections. *)
 let checkpoint th =
   if th.atomic_depth = 0 then begin
-    Tracer.run_span th.sched.tracer ~tid:th.tid ~now:th.clock;
-    maybe_preempt th;
-    (match th.sched.controller with
+    let sched = th.sched in
+    (* Both calls are self-guarded no-ops in the common case (tracing off,
+       not oversubscribed); the guards here just skip the calls on the
+       per-event hot path. *)
+    if Tracer.enabled sched.tracer then Tracer.run_span sched.tracer ~tid:th.tid ~now:th.clock;
+    if sched.oversub > 1.0 then maybe_preempt th;
+    (match sched.controller with
     | None -> ()
     | Some f ->
         (* A schedule controller perturbs the interleaving by stalling the
@@ -220,7 +243,20 @@ let checkpoint th =
             Tracer.advance_run tr ~tid:th.tid ~now:th.clock
           end
         end);
-    Effect.perform (Yield th)
+    (* Elide the yield when this thread would only pop itself right back:
+       no other event is due at or before our clock. (A re-enqueued task
+       gets a fresh, maximal seq, so any existing event with key <= clock
+       pops first — if none exists the round trip is pure overhead.)
+       [has_le] may answer a conservative [true] under the wheel, which
+       just performs the yield we would have performed anyway; schedules,
+       metrics and digests are bit-identical either way. The yield must
+       still happen when stopping or past the hard deadline so the
+       dispatch loop can drop this continuation. *)
+    if
+      sched.stopped
+      || th.clock > sched.hard_deadline
+      || Event_queue.has_le sched.queue ~bound:th.clock
+    then Effect.perform (Yield th)
   end
 
 let set_controller sched f = sched.controller <- f
@@ -231,7 +267,20 @@ let set_controller sched f = sched.controller <- f
    block degrades to release-time ([available_at]) serialization. *)
 let atomically th f =
   th.atomic_depth <- th.atomic_depth + 1;
-  Fun.protect ~finally:(fun () -> th.atomic_depth <- th.atomic_depth - 1) f
+  match f () with
+  | v ->
+      th.atomic_depth <- th.atomic_depth - 1;
+      v
+  | exception e ->
+      th.atomic_depth <- th.atomic_depth - 1;
+      raise e
+
+(* Explicit bracket form of [atomically] for per-operation hot loops,
+   where the thunk would be a fresh closure per call. The caller owns
+   exception safety: an escaping exception between enter and exit leaves
+   checkpoints suppressed for the thread. *)
+let[@inline] atomic_enter th = th.atomic_depth <- th.atomic_depth + 1
+let[@inline] atomic_exit th = th.atomic_depth <- th.atomic_depth - 1
 
 (* Block until another thread calls [ready]. *)
 let suspend th = Effect.perform (Suspend th)
@@ -281,15 +330,16 @@ let exec = function
       | None -> assert false)
 
 (* Run until no runnable thread remains. Threads still suspended on a lock
-   when the heap drains are abandoned (their continuations are dropped),
-   which models the end of a timed trial. *)
+   when the queue drains are abandoned (their continuations are dropped),
+   which models the end of a timed trial. The sentinel compare (instead of
+   an option) keeps the dispatch loop allocation-free per event. *)
 let run sched =
   let rec loop () =
-    match Heap.pop sched.heap with
-    | None -> ()
-    | Some t ->
-        exec t;
-        loop ()
+    let t = Event_queue.pop_le_default sched.queue ~bound:max_int in
+    if t != dummy_task then begin
+      exec t;
+      loop ()
+    end
   in
   loop ()
 
@@ -299,15 +349,17 @@ let set_hard_deadline sched ns = sched.hard_deadline <- ns
    deadline: at that point remaining continuations are abandoned, modelling
    the end of a wall-clock-limited trial even if some thread is stuck in an
    enormous batch free. The deadline is a plain field read per event (set
-   mid-run via [set_hard_deadline]) and the heap is touched once per event
-   ([pop_le]), keeping the dispatch loop allocation- and indirection-free. *)
+   mid-run via [set_hard_deadline]) and the queue is touched once per event
+   ([pop_le_default]), keeping the dispatch loop allocation- and
+   indirection-free. *)
 let run_until sched =
   let rec loop () =
-    match Heap.pop_le sched.heap ~bound:sched.hard_deadline with
-    | Some t ->
-        exec t;
-        loop ()
-    | None -> if not (Heap.is_empty sched.heap) then sched.stopped <- true
+    let t = Event_queue.pop_le_default sched.queue ~bound:sched.hard_deadline in
+    if t != dummy_task then begin
+      exec t;
+      loop ()
+    end
+    else if not (Event_queue.is_empty sched.queue) then sched.stopped <- true
   in
   loop ()
 

@@ -24,7 +24,7 @@ type hooks = {
 
 val no_hooks : unit -> hooks
 
-(** Event-heap payload: a one-off thunk or a thread's reusable resume cell
+(** Event-queue payload: a one-off thunk or a thread's reusable resume cell
     (the hot checkpoint cycle enqueues the latter, allocating nothing). *)
 type task
 
@@ -52,14 +52,29 @@ and thread = {
 and t
 
 val create :
-  ?cost:Cost_model.t -> topology:Topology.t -> n_threads:int -> seed:int -> unit -> t
+  ?cost:Cost_model.t ->
+  ?event_queue:Event_queue.kind ->
+  topology:Topology.t ->
+  n_threads:int ->
+  seed:int ->
+  unit ->
+  t
 (** Build a scheduler with [n_threads] simulated threads pinned to
     [topology]. Thread counts beyond the machine are oversubscribed:
     threads share logical CPUs and are periodically preempted for whole
-    timeslices (the paper's 240-thread configuration). *)
+    timeslices (the paper's 240-thread configuration).
+
+    [event_queue] selects the queue implementation behind the dispatch
+    loop; the default comes from {!Event_queue.default_kind} (the timing
+    wheel unless [EPOCHS_EVENT_QUEUE] says otherwise). Both kinds produce
+    bit-identical runs. *)
 
 val threads : t -> thread array
 val thread : t -> int -> thread
+
+val event_queue : t -> Event_queue.kind
+(** Which event-queue implementation this scheduler dispatches from. *)
+
 val cost : t -> Cost_model.t
 val topology : t -> Topology.t
 val n_threads : t -> int
@@ -108,6 +123,12 @@ val set_controller : t -> (thread -> int) option -> unit
 val atomically : thread -> (unit -> 'a) -> 'a
 (** Run an atomic block — no other simulated thread interleaves — modelling
     a linearizable data structure operation. Costs still accrue. *)
+
+val atomic_enter : thread -> unit
+val atomic_exit : thread -> unit
+(** Bracket form of {!atomically} for hot loops where the thunk would be a
+    fresh closure per call. Callers must guarantee [atomic_exit] runs on
+    every path out of the block, including exceptional ones. *)
 
 val suspend : thread -> unit
 (** Block until {!ready}. *)

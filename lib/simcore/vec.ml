@@ -8,8 +8,8 @@ type t = { mutable data : int array; mutable len : int }
 let create ?(capacity = 8) () =
   { data = Array.make (max 1 capacity) 0; len = 0 }
 
-let length v = v.len
-let is_empty v = v.len = 0
+let[@inline] length v = v.len
+let[@inline] is_empty v = v.len = 0
 
 let clear v = v.len <- 0
 
