@@ -1,6 +1,6 @@
 .PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-diff \
 	bench-diff-gate examples regress regress-exact regress-perf regress-bless \
-	regress-paper regress-bless-paper trace-paper queue-crosscheck \
+	regress-paper regress-bless-paper trace-paper queue-crosscheck shard-crosscheck \
 	simcheck-smoke simcheck-selftest trace-smoke fmt fmt-check deps deps-fmt clean
 
 all: build
@@ -91,15 +91,31 @@ trace-paper:
 	dune exec bin/simbench.exe -- run --only paper-je-ebr-n192 --trace paper-traces \
 		--out paper-trace-results.json --bench-out paper-trace-bench.json
 
-# Event-queue cross-validation: the same entries under the heap and the
-# wheel must produce byte-identical result JSONs (the two implementations
-# differ only in host time). Mirrors the jobs=1 vs jobs=2 diff job.
-queue-crosscheck:
-	dune exec bin/simbench.exe -- run --only ll-ebr-n1,sl-token-n32,occ-ebr-n32 \
-		--queue wheel --out crosscheck-wheel.json --bench-out crosscheck-wheel-bench.json
-	dune exec bin/simbench.exe -- run --only ll-ebr-n1,sl-token-n32,occ-ebr-n32 \
-		--queue heap --out crosscheck-heap.json --bench-out crosscheck-heap-bench.json
-	cmp crosscheck-wheel.json crosscheck-heap.json
+# Sharded event-loop / event-queue cross-validation matrix: shards {1, 4}
+# x queue {heap, wheel} must all produce byte-identical result JSONs (the
+# four configurations differ only in host time), on three pr-tier entries
+# and one paper-scale 192-thread entry. Subsumes the old queue-crosscheck
+# target; mirrors the jobs=1 vs jobs=2 diff job.
+CROSSCHECK_ENTRIES = ll-ebr-n1,sl-token-n32,occ-ebr-n32
+CROSSCHECK_PAPER_ENTRY = paper-je-ebr-n192
+shard-crosscheck:
+	for q in heap wheel; do for s in 1 4; do \
+		dune exec bin/simbench.exe -- run --only $(CROSSCHECK_ENTRIES) \
+			--queue $$q --shards $$s --out crosscheck-$$q-s$$s.json \
+			--bench-out crosscheck-$$q-s$$s-bench.json || exit 1; \
+		dune exec bin/simbench.exe -- run --only $(CROSSCHECK_PAPER_ENTRY) \
+			--queue $$q --shards $$s --out crosscheck-paper-$$q-s$$s.json \
+			--bench-out crosscheck-paper-$$q-s$$s-bench.json || exit 1; \
+	done; done
+	cmp crosscheck-heap-s1.json crosscheck-heap-s4.json
+	cmp crosscheck-heap-s1.json crosscheck-wheel-s1.json
+	cmp crosscheck-heap-s1.json crosscheck-wheel-s4.json
+	cmp crosscheck-paper-heap-s1.json crosscheck-paper-heap-s4.json
+	cmp crosscheck-paper-heap-s1.json crosscheck-paper-wheel-s1.json
+	cmp crosscheck-paper-heap-s1.json crosscheck-paper-wheel-s4.json
+
+# Back-compat alias for the pre-sharding target name.
+queue-crosscheck: shard-crosscheck
 
 # Gating form of bench-diff: fail on >25% wall-clock regression of any
 # suite entry vs the cached previous BENCH file. CI skips the gate when the

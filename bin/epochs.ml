@@ -87,9 +87,19 @@ let trace_capacity_arg =
           "Ring-buffer capacity of the trace recorder, in events; the newest $(docv) events \
            are kept and older ones are dropped.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Per-socket event-loop shard count. Defaults to \\$(b,EPOCHS_SHARDS) when set, else \
+           1 (the unsharded loop). Results are byte-identical at any shard count.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
-let config ds smr alloc threads machine keys duration trials seed validate timeline af_drain zipf =
+let config ?shards ds smr alloc threads machine keys duration trials seed validate timeline
+    af_drain zipf =
   let topology =
     match Simcore.Topology.by_name machine with
     | Some t -> t
@@ -112,6 +122,7 @@ let config ds smr alloc threads machine keys duration trials seed validate timel
     af_drain;
     key_dist =
       (match zipf with None -> Runtime.Config.Uniform | Some theta -> Runtime.Config.Zipf theta);
+    shards;
   }
 
 let maybe_write_svg (t : Runtime.Trial.t) = function
@@ -171,10 +182,13 @@ let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
 
 let run_cmd =
   let run ds smr alloc threads machine keys duration trials seed validate timeline garbage
-      af_drain zipf svg jobs trace trace_capacity =
+      af_drain zipf svg jobs trace trace_capacity shards =
+    (match shards with
+    | Some n when n < 1 -> failwith (Printf.sprintf "--shards must be at least 1, got %d" n)
+    | _ -> ());
     let cfg =
-      config ds smr alloc threads machine keys duration trials seed validate timeline af_drain
-        zipf
+      config ?shards ds smr alloc threads machine keys duration trials seed validate timeline
+        af_drain zipf
     in
     let trials =
       match trace with
@@ -209,7 +223,8 @@ let run_cmd =
     Term.(
       const run $ ds_arg $ smr_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
       $ duration_arg $ trials_arg $ seed_arg $ validate_arg $ timeline_arg $ garbage_arg
-      $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg $ trace_arg $ trace_capacity_arg)
+      $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg $ trace_arg $ trace_capacity_arg
+      $ shards_arg)
 
 let comma_list s = String.split_on_char ',' s |> List.map String.trim
 

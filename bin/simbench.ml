@@ -98,6 +98,16 @@ let queue_arg =
            $(b,EPOCHS_EVENT_QUEUE) environment variable, else the wheel. Results are \
            bit-identical under either; the flag exists for cross-validation and bisection.")
 
+let shards_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Per-socket event-loop shard count. Defaults to the $(b,EPOCHS_SHARDS) \
+           environment variable, else 1 (the unsharded loop). Results are byte-identical \
+           at any shard count; the flag exists for cross-validation and performance runs.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
 let die fmt = Printf.ksprintf (fun msg -> prerr_endline msg; exit 2) fmt
@@ -137,6 +147,20 @@ let apply_queue ~queue entries =
                   { e.Regress.Suite.config with Runtime.Config.event_queue = Some k };
               })
             entries)
+
+let apply_shards ~shards entries =
+  match shards with
+  | None -> entries
+  | Some n when n < 1 -> die "simbench: --shards must be at least 1, got %d" n
+  | Some n ->
+      List.map
+        (fun (e : Regress.Suite.entry) ->
+          {
+            e with
+            Regress.Suite.config =
+              { e.Regress.Suite.config with Runtime.Config.shards = Some n };
+          })
+        entries
 
 (* Wall-clock and GC self-measurement. Virtual-time results are
    deterministic; wall_ns and the allocation counters are the deliberately
@@ -287,13 +311,13 @@ let run_suite ?trace_dir ~jobs entries =
   (results, timings, total.wall_ns)
 
 let run_cmd =
-  let run suite out bench_out jobs trace_dir tier only queue =
+  let run suite out bench_out jobs trace_dir tier only queue shards =
     let jobs = resolve_jobs jobs in
     (match trace_dir with
     | Some dir when not (Sys.file_exists dir) -> Sys.mkdir dir 0o755
     | _ -> ());
     let entries, suite_label = load_suite suite in
-    let entries = apply_queue ~queue (select_entries ~tier ~only entries) in
+    let entries = apply_shards ~shards (apply_queue ~queue (select_entries ~tier ~only entries)) in
     let results, timings, total_wall_ns = run_suite ?trace_dir ~jobs entries in
     print_string (summary_table results);
     write_results ~out ~suite_label results;
@@ -307,19 +331,19 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Run the suite and write its results as canonical JSON.")
     Term.(
       const run $ suite_arg $ out_arg $ bench_out_arg $ jobs_arg $ trace_dir_arg $ tier_arg
-      $ only_arg $ queue_arg)
+      $ only_arg $ queue_arg $ shards_arg)
 
 let check_cmd =
   let exact_flag = Arg.(value & flag & info [ "exact" ] ~doc:"Digest gate: bit-exact determinism.") in
   let perf_flag =
     Arg.(value & flag & info [ "perf" ] ~doc:"Tolerance gate: throughput and peak garbage.")
   in
-  let run suite baselines out bench_out jobs exact perf tier only queue =
+  let run suite baselines out bench_out jobs exact perf tier only queue shards =
     (* No mode flag means both gates. *)
     let exact, perf = if exact || perf then (exact, perf) else (true, true) in
     let jobs = resolve_jobs jobs in
     let entries, suite_label = load_suite suite in
-    let entries = apply_queue ~queue (select_entries ~tier ~only entries) in
+    let entries = apply_shards ~shards (apply_queue ~queue (select_entries ~tier ~only entries)) in
     let results, timings, total_wall_ns = run_suite ~jobs entries in
     let findings =
       List.concat_map
@@ -346,7 +370,7 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Run the suite and compare against the golden baselines.")
     Term.(
       const run $ suite_arg $ baselines_arg $ out_arg $ bench_out_arg $ jobs_arg $ exact_flag
-      $ perf_flag $ tier_arg $ only_arg $ queue_arg)
+      $ perf_flag $ tier_arg $ only_arg $ queue_arg $ shards_arg)
 
 let bless_cmd =
   let run suite baselines seeds jobs tier only =

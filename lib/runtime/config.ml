@@ -43,6 +43,11 @@ type t = {
          the wheel). Both kinds are bit-identical, so this is not part of
          the experiment definition and — like [alloc_config] and [cost] —
          never appears in manifests. *)
+  shards : int option;
+      (* per-socket event-loop shard count; [None] defers to
+         [Sched.default_shards] (the EPOCHS_SHARDS env var, else 1).
+         Every shard count produces byte-identical canonical results, so
+         like [event_queue] this never appears in manifests. *)
 }
 
 let default =
@@ -71,6 +76,7 @@ let default =
     alloc_config = Alloc.Alloc_intf.default_config;
     cost = Cost_model.default;
     event_queue = None;
+    shards = None;
   }
 
 let label cfg =

@@ -39,6 +39,10 @@ type t = {
       (** scheduler event-queue implementation; [None] defers to
           {!Simcore.Event_queue.default_kind}. Bit-identical either way,
           so not manifest-expressible (like [alloc_config] and [cost]) *)
+  shards : int option;
+      (** per-socket event-loop shard count; [None] defers to
+          {!Simcore.Sched.default_shards}. Byte-identical results at any
+          shard count, so not manifest-expressible either *)
 }
 
 val default : t

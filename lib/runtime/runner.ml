@@ -69,7 +69,7 @@ let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
   let n = cfg.Config.threads in
   let sched =
     Sched.create ~cost:cfg.Config.cost ?event_queue:cfg.Config.event_queue
-      ~topology:cfg.Config.topology ~n_threads:n ~seed ()
+      ?shards:cfg.Config.shards ~topology:cfg.Config.topology ~n_threads:n ~seed ()
   in
   (* Tracing covers the whole trial (setup, prefill, measured window); the
      profiler isolates the measured window via the Measure_start markers

@@ -27,6 +27,9 @@ type t = {
   mutable epochs : int;  (* epoch advances performed by this thread *)
   mutable flushes : int;  (* cache-overflow flush events *)
   mutable remote_frees : int;  (* objects returned to a remote owner *)
+  mutable yields : int;  (* checkpoint yields actually performed *)
+  mutable elided_yields : int;  (* checkpoint yields skipped (thread stayed minimal) *)
+  mutable shard_syncs : int;  (* sharded dispatch: resumptions that crossed a shard boundary *)
   free_call_hist : Histogram.t;  (* latency of individual free calls *)
   op_hist : Histogram.t;  (* virtual latency of whole operations *)
 }
@@ -50,6 +53,9 @@ let create () =
     epochs = 0;
     flushes = 0;
     remote_frees = 0;
+    yields = 0;
+    elided_yields = 0;
+    shard_syncs = 0;
     free_call_hist = Histogram.create ();
     op_hist = Histogram.create ();
   }
@@ -87,6 +93,9 @@ let merge into t =
   into.epochs <- into.epochs + t.epochs;
   into.flushes <- into.flushes + t.flushes;
   into.remote_frees <- into.remote_frees + t.remote_frees;
+  into.yields <- into.yields + t.yields;
+  into.elided_yields <- into.elided_yields + t.elided_yields;
+  into.shard_syncs <- into.shard_syncs + t.shard_syncs;
   Histogram.merge into.free_call_hist t.free_call_hist;
   Histogram.merge into.op_hist t.op_hist
 
@@ -116,6 +125,9 @@ let diff ~before ~after =
     epochs = after.epochs - before.epochs;
     flushes = after.flushes - before.flushes;
     remote_frees = after.remote_frees - before.remote_frees;
+    yields = after.yields - before.yields;
+    elided_yields = after.elided_yields - before.elided_yields;
+    shard_syncs = after.shard_syncs - before.shard_syncs;
     free_call_hist = after.free_call_hist;
     op_hist = after.op_hist;
   }

@@ -33,6 +33,11 @@ type t = {
   mutable epochs : int;  (** epoch advances / reclamation passes *)
   mutable flushes : int;  (** cache-overflow flush events *)
   mutable remote_frees : int;  (** objects returned to a remote owner *)
+  mutable yields : int;  (** checkpoint yields actually performed *)
+  mutable elided_yields : int;
+      (** checkpoint yields elided because the thread stayed minimal *)
+  mutable shard_syncs : int;
+      (** sharded dispatch only: resumptions that crossed a shard boundary *)
   free_call_hist : Histogram.t;  (** latency of individual free calls *)
   op_hist : Histogram.t;  (** virtual latency of whole operations *)
 }

@@ -39,6 +39,7 @@ type task = Run of (unit -> unit) | Resume of thread
 and thread = {
   tid : int;
   socket : int;
+  shard : int;  (* dispatch shard (socket mod n_shards); 0 when unsharded *)
   core : int;
   cpu_factor : float;  (* >1 when sharing a physical core (SMT) *)
   rng : Rng.t;
@@ -57,7 +58,16 @@ and thread = {
 }
 
 and t = {
-  queue : task Event_queue.t;
+  queues : task Event_queue.t array;
+      (* one event queue per shard; length 1 = the classic global loop *)
+  n_shards : int;
+  mutable cur_shard : int;  (* shard whose window is being drained *)
+  mutable bound_key : int;
+      (* window bound: minimal head (key, seq) over the *other* shards;
+         (max_int, max_int) when they are all empty *)
+  mutable bound_seq : int;
+  mutable pending_sync : bool;
+      (* a shard boundary was just crossed; charge the next resumption *)
   mutable seq : int;
   cost : Cost_model.t;
   topology : Topology.t;
@@ -83,14 +93,44 @@ let quantum_ns = 1_000_000  (* 1 virtual ms, a Linux-like timeslice *)
    recognised by physical equality in the dispatch loops. *)
 let dummy_task : task = Run ignore
 
-let create ?(cost = Cost_model.default) ?event_queue ~topology ~n_threads ~seed () =
+(* The one sentinel check every dispatch loop (global bounded/unbounded and
+   sharded) goes through, so the loops cannot drift on how "queue empty"
+   is recognised. *)
+let[@inline] is_live t = t != dummy_task
+
+(* -- sharding ------------------------------------------------------------ *)
+
+let shards_env_var = "EPOCHS_SHARDS"
+
+(* The unsharded loop is the default until the shard-crosscheck job has
+   soaked; [EPOCHS_SHARDS] (or [Config.shards] / [simbench --shards])
+   selects the per-socket sharded loop. Results are bit-identical either
+   way — see [run_sharded]. *)
+let default_shards () =
+  match Sys.getenv_opt shards_env_var with
+  | None | Some "" -> 1
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "%s: expected a positive shard count, got %S" shards_env_var s))
+
+let create ?(cost = Cost_model.default) ?event_queue ?shards ~topology ~n_threads ~seed () =
   if n_threads <= 0 then invalid_arg "Sched.create: n_threads must be positive";
   let kind =
     match event_queue with Some k -> k | None -> Event_queue.default_kind ()
   in
+  let n_shards = match shards with Some n -> n | None -> default_shards () in
+  if n_shards < 1 then invalid_arg "Sched.create: shards must be positive";
   let sched =
     {
-      queue = Event_queue.create ~kind ~dummy:dummy_task;
+      queues = Array.init n_shards (fun _ -> Event_queue.create ~kind ~dummy:dummy_task);
+      n_shards;
+      cur_shard = 0;
+      bound_key = max_int;
+      bound_seq = max_int;
+      pending_sync = false;
       seq = 0;
       cost;
       topology;
@@ -107,9 +147,11 @@ let create ?(cost = Cost_model.default) ?event_queue ~topology ~n_threads ~seed 
   let root_rng = Rng.create seed in
   let mk tid =
     let th =
+      let socket = Topology.socket_of_thread topology tid in
       {
         tid;
-        socket = Topology.socket_of_thread topology tid;
+        socket;
+        shard = socket mod n_shards;
         core = Topology.core_of_thread topology tid;
         cpu_factor =
           (if Topology.shares_core topology ~n:n_threads tid then cost.Cost_model.smt_factor
@@ -136,7 +178,8 @@ let create ?(cost = Cost_model.default) ?event_queue ~topology ~n_threads ~seed 
 
 let threads t = t.threads
 let thread t i = t.threads.(i)
-let event_queue t = Event_queue.kind t.queue
+let event_queue t = Event_queue.kind t.queues.(0)
+let shards t = t.n_shards
 let cost t = t.cost
 let topology t = t.topology
 let n_threads t = t.n_threads
@@ -147,9 +190,20 @@ let set_tracer t tr =
 
 let tracer t = t.tracer
 
-let enqueue sched ~key f =
+let enqueue sched ~shard ~key task =
   sched.seq <- sched.seq + 1;
-  Event_queue.push sched.queue ~key ~seq:sched.seq f
+  Event_queue.push (Array.unsafe_get sched.queues shard) ~key ~seq:sched.seq task;
+  (* A push into a non-current shard can lower the running window's bound:
+     the pushed element is a head candidate the window-opening scan did not
+     see. Seqs only grow, so a later push can win only on key; and every
+     push key is >= the pushing thread's clock (lock handoffs jump the
+     waiter's clock to the release time first), so it is never behind the
+     merge cursor — the exactness argument in [run_sharded]. Unsharded,
+     [shard = cur_shard = 0] and this is one dead compare. *)
+  if shard <> sched.cur_shard && key < sched.bound_key then begin
+    sched.bound_key <- key;
+    sched.bound_seq <- sched.seq
+  end
 
 (* Advance [th]'s clock by [ns] of *CPU work*, scaled by the SMT factor and
    attributed to [bucket]. Does not yield. *)
@@ -247,16 +301,31 @@ let checkpoint th =
        no other event is due at or before our clock. (A re-enqueued task
        gets a fresh, maximal seq, so any existing event with key <= clock
        pops first — if none exists the round trip is pure overhead.)
-       [has_le] may answer a conservative [true] under the wheel, which
-       just performs the yield we would have performed anyway; schedules,
-       metrics and digests are bit-identical either way. The yield must
-       still happen when stopping or past the hard deadline so the
-       dispatch loop can drop this continuation. *)
+       Sharded, "no other event" splits into the thread's own shard queue
+       ([has_le], exact or conservative as below) and the cached window
+       bound — the minimal head key over the other shards — one int
+       compare instead of a scan. [has_le] may answer a conservative
+       [true] under the wheel, which just performs the yield we would have
+       performed anyway; schedules and digests of the canonical results
+       are bit-identical either way. The yield must still happen when
+       stopping or past the hard deadline so the dispatch loop can drop
+       this continuation. *)
     if
       sched.stopped
       || th.clock > sched.hard_deadline
-      || Event_queue.has_le sched.queue ~bound:th.clock
-    then Effect.perform (Yield th)
+      || th.clock >= sched.bound_key
+      || Event_queue.has_le (Array.unsafe_get sched.queues th.shard) ~bound:th.clock
+    then begin
+      th.metrics.Metrics.yields <- th.metrics.Metrics.yields + 1;
+      if Tracer.enabled sched.tracer then
+        Tracer.instant sched.tracer Tracer.Yield ~tid:th.tid ~ts:th.clock ~a:1 ~b:0;
+      Effect.perform (Yield th)
+    end
+    else begin
+      th.metrics.Metrics.elided_yields <- th.metrics.Metrics.elided_yields + 1;
+      if Tracer.enabled sched.tracer then
+        Tracer.instant sched.tracer Tracer.Yield ~tid:th.tid ~ts:th.clock ~a:0 ~b:0
+    end
   end
 
 let set_controller sched f = sched.controller <- f
@@ -288,7 +357,7 @@ let suspend th = Effect.perform (Suspend th)
 let ready th =
   if not th.suspended then invalid_arg "Sched.ready: thread is not suspended";
   th.suspended <- false;
-  enqueue th.sched ~key:th.clock th.resume_task
+  enqueue th.sched ~shard:th.shard ~key:th.clock th.resume_task
 
 let spawn sched th body =
   let handled () =
@@ -305,7 +374,7 @@ let spawn sched th body =
                     if th.sched.stopped then ()
                     else begin
                       th.pending <- Some k;
-                      enqueue th.sched ~key:th.clock th.resume_task
+                      enqueue th.sched ~shard:th.shard ~key:th.clock th.resume_task
                     end)
             | Suspend th ->
                 Some
@@ -318,7 +387,7 @@ let spawn sched th body =
             | _ -> None);
       }
   in
-  enqueue sched ~key:th.clock (Run handled)
+  enqueue sched ~shard:th.shard ~key:th.clock (Run handled)
 
 let exec = function
   | Run f -> f ()
@@ -329,19 +398,121 @@ let exec = function
           Effect.Deep.continue k ()
       | None -> assert false)
 
+(* The sharded dispatch loop: an exact tournament merge over the per-shard
+   queues.
+
+   Every window, the scan below finds the shard whose head is the
+   lexicographically minimal (key, seq) across all shards — i.e. exactly
+   the event the global loop would pop — and the runner-up head becomes
+   the window *bound*. The winning shard then drains events while its head
+   stays strictly below the bound, which by induction pops precisely the
+   global (key, seq) order: within the window every local head is below
+   every other shard's head, and a cross-shard push during the window
+   either lands at or above the bound (so the next scan sees it) or lowers
+   the cached bound in [enqueue] (push keys are >= the pushing thread's
+   clock >= the merge cursor, so nothing ever lands *behind* the cursor).
+   Hence schedules, metrics-derived results and digests are byte-identical
+   to the unsharded loop — the shard-crosscheck CI job enforces it on both
+   tiers under both queue kinds.
+
+   What sharding buys at equal schedules: each queue holds only its
+   socket's threads (~4x smaller at n192 — shallower heap sifts, lighter
+   wheel staging), the checkpoint elision test collapses to one int
+   compare against the cached bound plus a shard-local [has_le], and the
+   empty-shard case is skipped wholesale by the scan.
+
+   A window ends when the shard's head reaches the bound (or its queue
+   empties, or the next event is past the hard deadline). The window
+   transition is the shard-sync point: the first thread resumption of the
+   new window is charged one [shard_syncs] tick and traced as a
+   [Shard_sync] instant. *)
+let run_sharded sched ~bounded =
+  let queues = sched.queues in
+  let ns = Array.length queues in
+  sched.pending_sync <- false;
+  (* Drain the current window: pop while the local head (key, seq) is
+     below the window bound and within the deadline. *)
+  let rec drain q shard =
+    let k = Event_queue.head_key q in
+    let dl = if bounded then sched.hard_deadline else max_int in
+    if
+      k <= dl
+      && (k < sched.bound_key
+         || (k = sched.bound_key && Event_queue.head_seq q < sched.bound_seq))
+    then begin
+      let t = Event_queue.pop_le_default q ~bound:k in
+      if is_live t then begin
+        (match t with
+        | Resume th when sched.pending_sync ->
+            th.metrics.Metrics.shard_syncs <- th.metrics.Metrics.shard_syncs + 1;
+            if Tracer.enabled sched.tracer then
+              Tracer.instant sched.tracer Tracer.Shard_sync ~tid:th.tid ~ts:th.clock
+                ~a:shard ~b:0;
+            sched.pending_sync <- false
+        | Resume _ | Run _ -> ());
+        exec t;
+        drain q shard
+      end
+    end
+  in
+  (* Window-opening scan: best = minimal (key, seq) head, (b2k, b2s) =
+     runner-up. An empty shard reports [max_int] and is skipped. *)
+  let rec select ~first =
+    let best = ref (-1) in
+    let bk = ref max_int and bs = ref max_int in
+    let b2k = ref max_int and b2s = ref max_int in
+    for i = 0 to ns - 1 do
+      let q = Array.unsafe_get queues i in
+      let k = Event_queue.head_key q in
+      if k <> max_int then begin
+        let sq = Event_queue.head_seq q in
+        if k < !bk || (k = !bk && sq < !bs) then begin
+          b2k := !bk;
+          b2s := !bs;
+          best := i;
+          bk := k;
+          bs := sq
+        end
+        else if k < !b2k || (k = !b2k && sq < !b2s) then begin
+          b2k := k;
+          b2s := sq
+        end
+      end
+    done;
+    if !best >= 0 then begin
+      if bounded && !bk > sched.hard_deadline then
+        (* Only events beyond the deadline remain anywhere: abandon them,
+           exactly like the global bounded loop. *)
+        sched.stopped <- true
+      else begin
+        if not first then sched.pending_sync <- true;
+        sched.cur_shard <- !best;
+        sched.bound_key <- !b2k;
+        sched.bound_seq <- !b2s;
+        drain (Array.unsafe_get queues !best) !best;
+        select ~first:false
+      end
+    end
+  in
+  select ~first:true
+
 (* Run until no runnable thread remains. Threads still suspended on a lock
    when the queue drains are abandoned (their continuations are dropped),
    which models the end of a timed trial. The sentinel compare (instead of
    an option) keeps the dispatch loop allocation-free per event. *)
 let run sched =
-  let rec loop () =
-    let t = Event_queue.pop_le_default sched.queue ~bound:max_int in
-    if t != dummy_task then begin
-      exec t;
-      loop ()
-    end
-  in
-  loop ()
+  if sched.n_shards = 1 then begin
+    let q = Array.unsafe_get sched.queues 0 in
+    let rec loop () =
+      let t = Event_queue.pop_le_default q ~bound:max_int in
+      if is_live t then begin
+        exec t;
+        loop ()
+      end
+    in
+    loop ()
+  end
+  else run_sharded sched ~bounded:false
 
 let set_hard_deadline sched ns = sched.hard_deadline <- ns
 
@@ -353,14 +524,18 @@ let set_hard_deadline sched ns = sched.hard_deadline <- ns
    ([pop_le_default]), keeping the dispatch loop allocation- and
    indirection-free. *)
 let run_until sched =
-  let rec loop () =
-    let t = Event_queue.pop_le_default sched.queue ~bound:sched.hard_deadline in
-    if t != dummy_task then begin
-      exec t;
-      loop ()
-    end
-    else if not (Event_queue.is_empty sched.queue) then sched.stopped <- true
-  in
-  loop ()
+  if sched.n_shards = 1 then begin
+    let q = Array.unsafe_get sched.queues 0 in
+    let rec loop () =
+      let t = Event_queue.pop_le_default q ~bound:sched.hard_deadline in
+      if is_live t then begin
+        exec t;
+        loop ()
+      end
+      else if not (Event_queue.is_empty q) then sched.stopped <- true
+    in
+    loop ()
+  end
+  else run_sharded sched ~bounded:true
 
 let stop sched = sched.stopped <- true

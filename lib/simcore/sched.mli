@@ -31,6 +31,7 @@ type task
 and thread = {
   tid : int;
   socket : int;  (** socket under the paper's pinning policy *)
+  shard : int;  (** dispatch shard ([socket mod shards]); 0 when unsharded *)
   core : int;
   cpu_factor : float;  (** >1 when sharing a physical core (SMT) *)
   rng : Rng.t;  (** thread-private random stream *)
@@ -51,9 +52,18 @@ and thread = {
 
 and t
 
+val shards_env_var : string
+(** ["EPOCHS_SHARDS"]. *)
+
+val default_shards : unit -> int
+(** The shard count named by [EPOCHS_SHARDS], or [1] (the classic global
+    event loop) when unset/empty.
+    @raise Invalid_argument when the variable is not a positive integer. *)
+
 val create :
   ?cost:Cost_model.t ->
   ?event_queue:Event_queue.kind ->
+  ?shards:int ->
   topology:Topology.t ->
   n_threads:int ->
   seed:int ->
@@ -67,13 +77,25 @@ val create :
     [event_queue] selects the queue implementation behind the dispatch
     loop; the default comes from {!Event_queue.default_kind} (the timing
     wheel unless [EPOCHS_EVENT_QUEUE] says otherwise). Both kinds produce
-    bit-identical runs. *)
+    bit-identical runs.
+
+    [shards] partitions the event loop into per-socket shards (threads map
+    to shard [socket mod shards]) dispatched as an exact tournament merge;
+    the default comes from {!default_shards} (the global loop unless
+    [EPOCHS_SHARDS] says otherwise). Any shard count produces runs whose
+    canonical results are byte-identical to [shards:1] — shards beyond the
+    sockets in use simply stay empty and are skipped by the merge.
+    @raise Invalid_argument when [shards < 1] or [n_threads <= 0]. *)
 
 val threads : t -> thread array
 val thread : t -> int -> thread
 
 val event_queue : t -> Event_queue.kind
 (** Which event-queue implementation this scheduler dispatches from. *)
+
+val shards : t -> int
+(** How many event-loop shards this scheduler dispatches over (1 = the
+    classic global loop). *)
 
 val cost : t -> Cost_model.t
 val topology : t -> Topology.t

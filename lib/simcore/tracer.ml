@@ -45,6 +45,9 @@ type kind =
   | Retire  (* instant: one object handed to the SMR, a = handle *)
   | Measure_start  (* instant: this thread's measured window opened *)
   | Thread_end  (* instant: this thread's final virtual clock *)
+  | Yield  (* instant: a checkpoint; a = 1 performed yield, 0 elided *)
+  | Shard_sync  (* instant: sharded dispatch resumed this thread across a shard
+                   boundary; a = shard index *)
 
 let code = function
   | Run -> 0
@@ -66,6 +69,8 @@ let code = function
   | Retire -> 16
   | Measure_start -> 17
   | Thread_end -> 18
+  | Yield -> 19
+  | Shard_sync -> 20
 
 let of_code = function
   | 0 -> Run
@@ -87,6 +92,8 @@ let of_code = function
   | 16 -> Retire
   | 17 -> Measure_start
   | 18 -> Thread_end
+  | 19 -> Yield
+  | 20 -> Shard_sync
   | _ -> invalid_arg "Tracer.of_code: unknown kind"
 
 let kind_name = function
@@ -109,6 +116,8 @@ let kind_name = function
   | Retire -> "retire"
   | Measure_start -> "measure_start"
   | Thread_end -> "thread_end"
+  | Yield -> "yield"
+  | Shard_sync -> "shard_sync"
 
 type t = {
   enabled : bool;

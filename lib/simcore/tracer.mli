@@ -33,7 +33,13 @@
     - [Measure_start]: instant marking a thread's measured-window snapshot;
       [Thread_end]: instant carrying a thread's final clock. Emitted by the
       runner; the profiler windows every per-thread sum between them (by
-      emission order, mirroring the runner's metric snapshots exactly). *)
+      emission order, mirroring the runner's metric snapshots exactly).
+    - [Yield]: instant at every scheduler checkpoint, [a] = 1 when the
+      yield was performed, 0 when it was elided (the thread stayed the
+      minimum and ran straight through) — the [yields]/[elided_yields]
+      counters. [Shard_sync]: instant when the sharded dispatch loop
+      resumes a thread across a shard boundary (the [shard_syncs]
+      counter), [a] = the resuming thread's shard index. *)
 type kind =
   | Run
   | Stall
@@ -54,6 +60,8 @@ type kind =
   | Retire
   | Measure_start
   | Thread_end
+  | Yield
+  | Shard_sync
 
 val code : kind -> int
 val of_code : int -> kind

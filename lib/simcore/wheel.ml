@@ -17,20 +17,24 @@
      clock to the release time before re-enqueueing), so the wheel never
      has to look backwards. A push behind the last popped key raises
      instead of silently reordering — see [push].
-   - Sequence numbers increase with every push, so any bucket's entries
-     are already in seq order and a *stable* sort by key alone restores
-     the full (key, seq) order when a bucket becomes current.
+   - Sequence numbers increase with every push, so (key, seq) pairs are
+     totally ordered with no duplicates and a min-heap over the pair
+     restores the full order when a bucket becomes current.
 
    Layout: [levels] fixed levels of [slots] buckets each; level [l]
    buckets are [1 lsl (gbits + l*slot_bits)] virtual ns wide. The bucket
-   containing the current time is kept unpacked in a sorted *staging*
-   array that pops from the front; same-bucket insertions go straight
-   into it (binary search + blit — almost always an append, since keys
-   arrive near-sorted). When staging drains, occupancy bitmaps locate the
-   next busy bucket in O(words); crossing an upper-level bucket boundary
-   cascades its contents down one level. Events beyond the top level's
-   horizon sit in an unsorted overflow list that is folded back in when
-   the clock gets there. *)
+   containing the current time is kept unpacked in a small *staging*
+   min-heap keyed (key, seq); same-bucket insertions go straight into it
+   in O(log occupancy). (An earlier revision kept staging as a sorted
+   array with a binary-search + memmove insert; at 192 threads the thread
+   clocks pack into one or two buckets, occupancy reaches the thread
+   count, and every insert paid an O(occupancy) blit — the profile cost
+   behind the wheel's n192 gap to the heap. The heap bounds the insert at
+   O(log occupancy) ~ 8 swaps.) When staging drains, occupancy bitmaps
+   locate the next busy bucket in O(words); crossing an upper-level
+   bucket boundary cascades its contents down one level. Events beyond
+   the top level's horizon sit in an unsorted overflow list that is
+   folded back in when the clock gets there. *)
 
 let slot_bits = 8
 let slots = 1 lsl slot_bits
@@ -63,11 +67,10 @@ type 'a t = {
   mutable count : int;
   mutable last : int;  (* last popped key: the monotonicity floor *)
   mutable cur_b0 : int;  (* absolute level-0 bucket index of the staging window *)
-  mutable st_keys : int array;  (* staging: sorted, live in [st_head, st_tail) *)
+  mutable st_keys : int array;  (* staging: binary min-heap on (key, seq), [0, st_len) *)
   mutable st_seqs : int array;
   mutable st_data : 'a array;
-  mutable st_head : int;
-  mutable st_tail : int;
+  mutable st_len : int;
   lvls : 'a level array;
   mutable ov_keys : int array;  (* far-future overflow, unsorted *)
   mutable ov_seqs : int array;
@@ -109,8 +112,7 @@ let create ?(granularity_bits = default_granularity_bits) ~dummy () =
     st_keys = Array.make 16 0;
     st_seqs = Array.make 16 0;
     st_data = Array.make 16 dummy;
-    st_head = 0;
-    st_tail = 0;
+    st_len = 0;
     lvls = Array.init levels (fun _ -> mk_level ());
     ov_keys = [||];
     ov_seqs = [||];
@@ -125,53 +127,68 @@ let is_empty t = t.count = 0
 (* -- staging -- *)
 
 let st_reserve t =
-  if t.st_tail = Array.length t.st_keys then begin
-    let live = t.st_tail - t.st_head in
-    if t.st_head > 0 && 2 * live <= Array.length t.st_keys then begin
-      (* compact: slide the live region to the front *)
-      Array.blit t.st_keys t.st_head t.st_keys 0 live;
-      Array.blit t.st_seqs t.st_head t.st_seqs 0 live;
-      Array.blit t.st_data t.st_head t.st_data 0 live;
-      Array.fill t.st_data live (t.st_tail - live) t.dummy;
-      t.st_head <- 0;
-      t.st_tail <- live
-    end
-    else begin
-      let cap = 2 * Array.length t.st_keys in
-      let keys = Array.make cap 0 and seqs = Array.make cap 0 in
-      let data = Array.make cap t.dummy in
-      Array.blit t.st_keys t.st_head keys 0 live;
-      Array.blit t.st_seqs t.st_head seqs 0 live;
-      Array.blit t.st_data t.st_head data 0 live;
-      t.st_keys <- keys;
-      t.st_seqs <- seqs;
-      t.st_data <- data;
-      t.st_head <- 0;
-      t.st_tail <- live
-    end
+  if t.st_len = Array.length t.st_keys then begin
+    let cap = 2 * Array.length t.st_keys in
+    let keys = Array.make cap 0 and seqs = Array.make cap 0 in
+    let data = Array.make cap t.dummy in
+    Array.blit t.st_keys 0 keys 0 t.st_len;
+    Array.blit t.st_seqs 0 seqs 0 t.st_len;
+    Array.blit t.st_data 0 data 0 t.st_len;
+    t.st_keys <- keys;
+    t.st_seqs <- seqs;
+    t.st_data <- data
   end
 
-(* Insert into the sorted staging window. Sequence numbers grow with every
-   push, so inserting *after* all equal keys preserves (key, seq) order;
-   keys arrive near-sorted, so the common case is an append (empty blit). *)
+(* (key, seq) lexicographic order; seqs are distinct, so this is total. *)
+let[@inline] st_less t i j =
+  let ki = Array.unsafe_get t.st_keys i and kj = Array.unsafe_get t.st_keys j in
+  ki < kj || (ki = kj && Array.unsafe_get t.st_seqs i < Array.unsafe_get t.st_seqs j)
+
+let[@inline] st_swap t i j =
+  let k = Array.unsafe_get t.st_keys i in
+  Array.unsafe_set t.st_keys i (Array.unsafe_get t.st_keys j);
+  Array.unsafe_set t.st_keys j k;
+  let s = Array.unsafe_get t.st_seqs i in
+  Array.unsafe_set t.st_seqs i (Array.unsafe_get t.st_seqs j);
+  Array.unsafe_set t.st_seqs j s;
+  let d = Array.unsafe_get t.st_data i in
+  Array.unsafe_set t.st_data i (Array.unsafe_get t.st_data j);
+  Array.unsafe_set t.st_data j d
+
+(* Push onto the staging min-heap: O(log occupancy) sift, no memmove. *)
 let stage_insert t ~key ~seq x =
   st_reserve t;
-  let lo = ref t.st_head and hi = ref t.st_tail in
-  while !lo < !hi do
-    let mid = (!lo + !hi) / 2 in
-    if Array.unsafe_get t.st_keys mid <= key then lo := mid + 1 else hi := mid
-  done;
-  let i = !lo in
-  let n = t.st_tail - i in
-  if n > 0 then begin
-    Array.blit t.st_keys i t.st_keys (i + 1) n;
-    Array.blit t.st_seqs i t.st_seqs (i + 1) n;
-    Array.blit t.st_data i t.st_data (i + 1) n
-  end;
+  let i = t.st_len in
   Array.unsafe_set t.st_keys i key;
   Array.unsafe_set t.st_seqs i seq;
   Array.unsafe_set t.st_data i x;
-  t.st_tail <- t.st_tail + 1
+  t.st_len <- i + 1;
+  let i = ref i in
+  let continue = ref (!i > 0) in
+  while !continue do
+    let parent = (!i - 1) / 2 in
+    if st_less t !i parent then begin
+      st_swap t !i parent;
+      i := parent;
+      continue := !i > 0
+    end
+    else continue := false
+  done
+
+let st_sift_down t =
+  let i = ref 0 in
+  let continue = ref true in
+  while !continue do
+    let l = (2 * !i) + 1 and r = (2 * !i) + 2 in
+    let smallest = ref !i in
+    if l < t.st_len && st_less t l !smallest then smallest := l;
+    if r < t.st_len && st_less t r !smallest then smallest := r;
+    if !smallest <> !i then begin
+      st_swap t !i !smallest;
+      i := !smallest
+    end
+    else continue := false
+  done
 
 (* -- levels and overflow -- *)
 
@@ -268,13 +285,11 @@ let clear_occ lv s =
   let w = s lsr 5 in
   lv.occ.(w) <- lv.occ.(w) land lnot (1 lsl (s land 31))
 
-(* Unpack level-0 bucket [b0] into staging (stable-sorted by key: bucket
-   order is seq order, so [stage_insert]'s insert-after-equals keeps ties
-   right). Only called with staging empty. *)
+(* Unpack level-0 bucket [b0] into the staging heap (the (key, seq) heap
+   order makes tie handling automatic). Only called with staging empty. *)
 let load_bucket t b0 =
   t.cur_b0 <- b0;
-  t.st_head <- 0;
-  t.st_tail <- 0;
+  t.st_len <- 0;
   let lv = t.lvls.(0) in
   let s = b0 land slot_mask in
   let b = lv.buckets.(s) in
@@ -305,8 +320,7 @@ let cascade t l abs_idx =
    entries still beyond the new windows stay in the list. *)
 let cascade_overflow t =
   t.cur_b0 <- (t.ov_min lsr (t.gbits + (2 * slot_bits))) lsl (2 * slot_bits);
-  t.st_head <- 0;
-  t.st_tail <- 0;
+  t.st_len <- 0;
   let n = t.ov_len in
   t.ov_len <- 0;
   t.ov_min <- max_int;
@@ -351,7 +365,7 @@ let rec advance t ~bound =
       b1 lsl (t.gbits + slot_bits) <= bound
       && begin
            cascade t 1 b1;
-           t.st_head < t.st_tail || advance t ~bound
+           t.st_len > 0 || advance t ~bound
          end
     end
     else begin
@@ -362,7 +376,7 @@ let rec advance t ~bound =
         b2 lsl (t.gbits + (2 * slot_bits)) <= bound
         && begin
              cascade t 2 b2;
-             t.st_head < t.st_tail || advance t ~bound
+             t.st_len > 0 || advance t ~bound
            end
       end
       else begin
@@ -372,7 +386,7 @@ let rec advance t ~bound =
         t.ov_min <= bound
         && begin
              cascade_overflow t;
-             t.st_head < t.st_tail || advance t ~bound
+             t.st_len > 0 || advance t ~bound
            end
       end
     end
@@ -380,20 +394,22 @@ let rec advance t ~bound =
 
 (* True when an event with key <= [bound] is staged after this call. *)
 let next_ready t ~bound =
-  if t.st_head < t.st_tail then t.st_keys.(t.st_head) <= bound
-  else t.count > 0 && advance t ~bound && t.st_keys.(t.st_head) <= bound
+  if t.st_len > 0 then t.st_keys.(0) <= bound
+  else t.count > 0 && advance t ~bound && t.st_keys.(0) <= bound
 
+(* Remove and return the staging heap's root — the wheel's (key, seq)
+   minimum. Precondition: [st_len > 0]. *)
 let take_head t =
-  let i = t.st_head in
-  let x = t.st_data.(i) in
-  t.st_data.(i) <- t.dummy;
-  t.last <- t.st_keys.(i);
-  t.st_head <- i + 1;
+  let x = t.st_data.(0) in
+  t.last <- t.st_keys.(0);
+  let n = t.st_len - 1 in
+  t.st_len <- n;
+  t.st_keys.(0) <- t.st_keys.(n);
+  t.st_seqs.(0) <- t.st_seqs.(n);
+  t.st_data.(0) <- t.st_data.(n);
+  t.st_data.(n) <- t.dummy;
+  if n > 1 then st_sift_down t;
   t.count <- t.count - 1;
-  if t.st_head = t.st_tail then begin
-    t.st_head <- 0;
-    t.st_tail <- 0
-  end;
   x
 
 let pop t = if t.count = 0 then None else if next_ready t ~bound:max_int then Some (take_head t) else None
@@ -408,8 +424,22 @@ let pop_le_default t ~bound =
 
 let peek_key t =
   if t.count = 0 then None
-  else if next_ready t ~bound:max_int then Some t.st_keys.(t.st_head)
+  else if next_ready t ~bound:max_int then Some t.st_keys.(0)
   else None
+
+(* Allocation-free head peeks for the sharded dispatch loop's tournament
+   merge. [head_key] advances the internal hand to stage the minimum
+   (semantically invisible, like [peek_key]); with [count > 0] and an
+   unbounded advance the staging heap is guaranteed non-empty afterwards,
+   so [head_seq] immediately after [head_key] reads the same element. *)
+let head_key t =
+  if t.count = 0 then max_int
+  else begin
+    ignore (next_ready t ~bound:max_int : bool);
+    t.st_keys.(0)
+  end
+
+let head_seq t = if t.st_len = 0 then max_int else t.st_seqs.(0)
 
 (* Conservative emptiness-below-bound test for the scheduler's checkpoint
    fast path. Exact when the staging window is non-empty (staging holds the
@@ -420,7 +450,7 @@ let peek_key t =
 let has_le t ~bound =
   t.count > 0
   && begin
-       if t.st_head < t.st_tail then t.st_keys.(t.st_head) <= bound
+       if t.st_len > 0 then t.st_keys.(0) <= bound
        else begin
          let s0 = t.cur_b0 land slot_mask in
          let next0 = scan_level t.lvls.(0) ~from:(s0 + 1) in

@@ -2,7 +2,9 @@ open Simcore
 
 (* Scheduler-state events live in their own process lane so Perfetto shows
    the run/stall/preempt timeline above the workload events. *)
-let pid_of_kind = function Tracer.Run | Tracer.Stall | Tracer.Preempt -> 1 | _ -> 0
+let pid_of_kind = function
+  | Tracer.Run | Tracer.Stall | Tracer.Preempt | Tracer.Yield | Tracer.Shard_sync -> 1
+  | _ -> 0
 
 let is_lock_kind = function
   | Tracer.Lock_wait | Tracer.Lock_acquire | Tracer.Lock_hold -> true

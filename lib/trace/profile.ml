@@ -27,6 +27,9 @@ type t = {
   reclaims : int;
   reclaimed : int;
   af_drained : int;
+  yields : int;
+  elided_yields : int;
+  shard_syncs : int;
   locks : lock_stat list;
   max_epoch_gap_ns : int;
   peak_epoch_garbage : int;
@@ -79,6 +82,9 @@ let of_tracer tr =
   and reclaims = ref 0
   and reclaimed = ref 0
   and af_drained = ref 0
+  and yields = ref 0
+  and elided_yields = ref 0
+  and shard_syncs = ref 0
   and peak_garbage = ref 0 in
   let locks : (int, lock_acc) Hashtbl.t = Hashtbl.create 8 in
   let lock_acc id =
@@ -122,6 +128,8 @@ let of_tracer tr =
             incr reclaims;
             reclaimed := !reclaimed + e.Tracer.a
         | Tracer.Af_drain -> af_drained := !af_drained + e.Tracer.a
+        | Tracer.Yield -> if e.Tracer.a = 1 then incr yields else incr elided_yields
+        | Tracer.Shard_sync -> incr shard_syncs
         | _ -> ()
       end)
     evs;
@@ -167,6 +175,9 @@ let of_tracer tr =
     reclaims = !reclaims;
     reclaimed = !reclaimed;
     af_drained = !af_drained;
+    yields = !yields;
+    elided_yields = !elided_yields;
+    shard_syncs = !shard_syncs;
     locks = lock_stats;
     max_epoch_gap_ns;
     peak_epoch_garbage = !peak_garbage;
@@ -189,6 +200,8 @@ let pp ppf p =
     p.splices;
   Fmt.pf ppf "@,reclaim passes %d (%d objects), amortized drain %d objects" p.reclaims
     p.reclaimed p.af_drained;
+  Fmt.pf ppf "@,yields %d performed, %d elided, %d shard syncs" p.yields p.elided_yields
+    p.shard_syncs;
   Fmt.pf ppf "@,longest epoch stall %.3f ms, peak epoch garbage %d" (ms p.max_epoch_gap_ns)
     p.peak_epoch_garbage;
   if p.locks <> [] then begin
@@ -222,6 +235,9 @@ let to_json p =
       ("reclaims", Json.Int p.reclaims);
       ("reclaimed", Json.Int p.reclaimed);
       ("af_drained", Json.Int p.af_drained);
+      ("yields", Json.Int p.yields);
+      ("elided_yields", Json.Int p.elided_yields);
+      ("shard_syncs", Json.Int p.shard_syncs);
       ("max_epoch_gap_ns", Json.Int p.max_epoch_gap_ns);
       ("peak_epoch_garbage", Json.Int p.peak_epoch_garbage);
       ( "locks",

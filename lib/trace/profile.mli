@@ -43,6 +43,9 @@ type t = {
   reclaims : int;  (** SMR free-bag passes *)
   reclaimed : int;  (** objects freed by those passes *)
   af_drained : int;  (** objects drained by amortized-free quanta *)
+  yields : int;  (** performed context switches ([Yield] instants with a=1) *)
+  elided_yields : int;  (** checkpoints that skipped the effect perform (a=0) *)
+  shard_syncs : int;  (** sharded-loop window openings ([Shard_sync] instants) *)
   locks : lock_stat list;  (** sorted by [wait_ns + overhead_ns], largest first *)
   max_epoch_gap_ns : int;  (** longest interval between epoch advances *)
   peak_epoch_garbage : int;  (** max [Epoch_garbage] payload in window *)

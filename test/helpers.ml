@@ -6,8 +6,8 @@ open Simcore
 
 let default_topology = Topology.intel_192t
 
-let make_sched ?(n = 4) ?(seed = 7) () =
-  Sched.create ~topology:default_topology ~n_threads:n ~seed ()
+let make_sched ?(n = 4) ?(seed = 7) ?event_queue ?shards () =
+  Sched.create ?event_queue ?shards ~topology:default_topology ~n_threads:n ~seed ()
 
 (* Run [body] on thread 0 of a fresh scheduler and return its result. *)
 let in_sim ?n ?seed body =

@@ -178,6 +178,116 @@ let test_oversubscription () =
   Alcotest.(check int) "no preemption when the machine fits" 0
     th'.Sched.metrics.Metrics.idle_ns
 
+(* -- sharded event loop -------------------------------------------------- *)
+
+(* One seeded workload, schedulable many ways: every thread does a random
+   amount of work between checkpoints, and we log (tid, clock) at each
+   step. The log captures the full dispatch order, so equality across
+   shard counts and queue kinds is equality of schedules. *)
+let sharded_log ?event_queue ~shards ~n () =
+  let log = ref [] in
+  let sched = Helpers.make_sched ~n ~seed:123 ?event_queue ~shards () in
+  Array.iter
+    (fun th ->
+      Sched.spawn sched th (fun th ->
+          for _ = 1 to 5 do
+            Sched.work ~scaled:false th Metrics.Ds (1 + Rng.int_below th.Sched.rng 100);
+            log := (th.Sched.tid, Sched.now th) :: !log;
+            Sched.checkpoint th
+          done))
+    (Sched.threads sched);
+  Sched.run sched;
+  (sched, List.rev !log)
+
+let test_sharded_schedule_identical () =
+  (* n=192 populates all four sockets. The sharded loop must reproduce the
+     global loop's dispatch order exactly, for any shard count (including
+     non-divisors of the socket count and counts beyond it) and under both
+     queue kinds. *)
+  List.iter
+    (fun event_queue ->
+      let _, reference = sharded_log ?event_queue ~shards:1 ~n:192 () in
+      List.iter
+        (fun shards ->
+          let _, log = sharded_log ?event_queue ~shards ~n:192 () in
+          Alcotest.(check bool)
+            (Printf.sprintf "shards=%d matches the global loop" shards)
+            true (log = reference))
+        [ 2; 3; 4; 9 ])
+    [ None; Some Event_queue.Heap; Some Event_queue.Wheel ]
+
+let test_sharded_run_until_identical () =
+  (* Same equality under the bounded loop: the deadline cuts both loops at
+     the same event. *)
+  let run shards =
+    let log = ref [] in
+    let sched = Helpers.make_sched ~n:96 ~seed:31 ~shards () in
+    Array.iter
+      (fun th ->
+        Sched.spawn sched th (fun th ->
+            for _ = 1 to 50 do
+              Sched.work ~scaled:false th Metrics.Ds (1 + Rng.int_below th.Sched.rng 500);
+              log := (th.Sched.tid, Sched.now th) :: !log;
+              Sched.checkpoint th
+            done))
+      (Sched.threads sched);
+    Sched.set_hard_deadline sched 5_000;
+    Sched.run_until sched;
+    List.rev !log
+  in
+  Alcotest.(check bool) "bounded sharded run matches" true (run 4 = run 1)
+
+let test_sharded_yield_counters () =
+  (* The yields/elided_yields counters must account for every checkpoint,
+     and shard syncs only appear when more than one shard holds threads. *)
+  let total_checkpoints sched =
+    Array.fold_left
+      (fun acc th ->
+        acc + th.Sched.metrics.Metrics.yields + th.Sched.metrics.Metrics.elided_yields)
+      0 (Sched.threads sched)
+  in
+  let syncs sched =
+    Array.fold_left
+      (fun acc th -> acc + th.Sched.metrics.Metrics.shard_syncs)
+      0 (Sched.threads sched)
+  in
+  let unsharded, _ = sharded_log ~shards:1 ~n:96 () in
+  let sharded, _ = sharded_log ~shards:4 ~n:96 () in
+  Alcotest.(check int) "every checkpoint counted" (96 * 5) (total_checkpoints unsharded);
+  Alcotest.(check int) "every checkpoint counted (sharded)" (96 * 5)
+    (total_checkpoints sharded);
+  Alcotest.(check int) "no syncs in the unsharded loop" 0 (syncs unsharded);
+  Alcotest.(check bool) "window transitions counted" true (syncs sharded > 0)
+
+let test_empty_shard_terminates () =
+  (* Shards whose socket hosts no threads stay empty for the whole run; the
+     window scan must skip them and terminate rather than spin. n=4 puts
+     every thread on socket 0, so shards 1-7 never hold an event. *)
+  let sched = Helpers.make_sched ~n:4 ~shards:8 () in
+  let finished = ref 0 in
+  Array.iter
+    (fun th ->
+      Sched.spawn sched th (fun th ->
+          Sched.work ~scaled:false th Metrics.Ds 100;
+          Sched.checkpoint th;
+          incr finished))
+    (Sched.threads sched);
+  Sched.run sched;
+  Alcotest.(check int) "all threads ran to completion" 4 !finished;
+  (* A scheduler with nothing spawned at all must also return immediately,
+     under both loops. *)
+  Sched.run (Helpers.make_sched ~n:4 ~shards:1 ());
+  Sched.run (Helpers.make_sched ~n:4 ~shards:4 ());
+  let bounded = Helpers.make_sched ~n:4 ~shards:4 () in
+  Sched.set_hard_deadline bounded 1_000;
+  Sched.run_until bounded
+
+let test_shards_validation () =
+  Alcotest.check_raises "zero shards" (Invalid_argument "Sched.create: shards must be positive")
+    (fun () -> ignore (Helpers.make_sched ~shards:0 ()));
+  Alcotest.(check int) "shard count recorded" 4 (Sched.shards (Helpers.make_sched ~shards:4 ()));
+  Alcotest.(check int) "default is unsharded" 1 (Sched.shards (Helpers.make_sched ()))
+
 let suite =
   ( "sched",
     [
@@ -195,4 +305,9 @@ let suite =
       Helpers.quick "wait_not_smt_scaled" test_wait_not_smt_scaled;
       Helpers.quick "thread_identity" test_thread_identity;
       Helpers.quick "oversubscription" test_oversubscription;
+      Helpers.quick "sharded_schedule_identical" test_sharded_schedule_identical;
+      Helpers.quick "sharded_run_until_identical" test_sharded_run_until_identical;
+      Helpers.quick "sharded_yield_counters" test_sharded_yield_counters;
+      Helpers.quick "empty_shard_terminates" test_empty_shard_terminates;
+      Helpers.quick "shards_validation" test_shards_validation;
     ] )

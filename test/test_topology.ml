@@ -51,6 +51,52 @@ let test_no_smt_machine () =
       Alcotest.failf "thread %d shares a core on an SMT-1 machine" i
   done
 
+let test_socket_wraparound () =
+  (* Oversubscription pins thread 192+k to the same CPU as thread k, on
+     every machine model: the socket mapping — which the sharded event
+     loop keys off — must be periodic in the machine size. *)
+  List.iter
+    (fun m ->
+      let total = Topology.total_threads m in
+      for k = 0 to total - 1 do
+        let expect = Topology.socket_of_thread m k in
+        List.iter
+          (fun wrap ->
+            if Topology.socket_of_thread m ((wrap * total) + k) <> expect then
+              Alcotest.failf "%s: thread %d not on socket %d" m.Topology.name
+                ((wrap * total) + k) expect)
+          [ 1; 2; 5 ]
+      done;
+      (* The wrapped socket never names a socket the machine doesn't have. *)
+      for i = 0 to (3 * total) - 1 do
+        let s = Topology.socket_of_thread m i in
+        if s < 0 || s >= m.Topology.sockets then
+          Alcotest.failf "%s: thread %d on out-of-range socket %d" m.Topology.name i s
+      done)
+    Topology.all;
+  Alcotest.check_raises "negative tid" (Invalid_argument "Topology.socket_of_thread")
+    (fun () -> ignore (Topology.socket_of_thread t (-1)))
+
+let test_shares_core_oversubscribed () =
+  (* Beyond the machine size every logical CPU is multiplexed, so core
+     sharing collapses to "does the machine have SMT at all". *)
+  let oversub = Topology.total_threads t + 48 in
+  for i = 0 to oversub - 1 do
+    if not (Topology.shares_core t ~n:oversub i) then
+      Alcotest.failf "thread %d must share when the SMT-2 machine is oversubscribed" i
+  done;
+  (* SMT-1 machine: nobody shares a core, however many threads pile on. *)
+  let m = Topology.intel_144c in
+  let n = Topology.total_threads m + 100 in
+  for i = 0 to n - 1 do
+    if Topology.shares_core m ~n i then
+      Alcotest.failf "thread %d shares on an SMT-1 machine under oversubscription" i
+  done;
+  (* Exactly at the machine size the precise sibling rule still applies:
+     192 threads on the Intel box all share, as in test_shares_core. *)
+  Alcotest.(check bool) "boundary n=192 uses the sibling rule" true
+    (Topology.shares_core t ~n:(Topology.total_threads t) 0)
+
 let test_by_name () =
   Alcotest.(check bool) "intel alias" true (Topology.by_name "intel" = Some Topology.intel_192t);
   Alcotest.(check bool) "amd alias" true (Topology.by_name "amd" = Some Topology.amd_256c);
@@ -65,5 +111,7 @@ let suite =
       Helpers.quick "shares_core" test_shares_core;
       Helpers.quick "sockets_used" test_sockets_used;
       Helpers.quick "no_smt_machine" test_no_smt_machine;
+      Helpers.quick "socket_wraparound" test_socket_wraparound;
+      Helpers.quick "shares_core_oversubscribed" test_shares_core_oversubscribed;
       Helpers.quick "by_name" test_by_name;
     ] )

@@ -123,6 +123,59 @@ let test_tracing_is_invisible () =
     (Json.render (Runtime.Trial.to_json plain))
     (Json.render (Runtime.Trial.to_json traced))
 
+(* --- yield / shard-sync counters -------------------------------------- *)
+
+(* The scheduler's yield accounting has no Trial counterpart (it is not part
+   of the canonical results), so cross-check the trace-derived counts
+   against the Metrics counters directly on a raw simulation — the same
+   two-independent-paths contract as check_cross, unsharded and sharded. *)
+let test_cross_yield_counters () =
+  List.iter
+    (fun shards ->
+      let tracer = Tracer.create () in
+      let sched = Helpers.make_sched ~n:96 ~seed:5 ~shards () in
+      Sched.set_tracer sched tracer;
+      Array.iter
+        (fun th ->
+          Sched.spawn sched th (fun th ->
+              for _ = 1 to 5 do
+                Sched.work ~scaled:false th Metrics.Ds (1 + Rng.int_below th.Sched.rng 100);
+                Sched.checkpoint th
+              done))
+        (Sched.threads sched);
+      Sched.run sched;
+      let sum f =
+        Array.fold_left (fun acc th -> acc + f th.Sched.metrics) 0 (Sched.threads sched)
+      in
+      let p = Simtrace.Profile.of_tracer tracer in
+      let chk name = Alcotest.(check int) (Printf.sprintf "shards=%d: %s" shards name) in
+      chk "yields" (sum (fun m -> m.Metrics.yields)) p.Simtrace.Profile.yields;
+      chk "elided_yields"
+        (sum (fun m -> m.Metrics.elided_yields))
+        p.Simtrace.Profile.elided_yields;
+      chk "shard_syncs" (sum (fun m -> m.Metrics.shard_syncs)) p.Simtrace.Profile.shard_syncs;
+      Alcotest.(check bool) "yields recorded" true (p.Simtrace.Profile.yields > 0);
+      if shards > 1 then
+        Alcotest.(check bool) "syncs recorded" true (p.Simtrace.Profile.shard_syncs > 0))
+    [ 1; 4 ]
+
+(* Sharding obeys the same invisibility contract as tracing: byte-identical
+   canonical results through the runner. 49 threads spans two sockets, so
+   the sharded loop genuinely merges across shards here. *)
+let test_sharding_is_invisible () =
+  let cfg = small_cfg ~threads:49 () in
+  let plain = Runtime.Runner.run_trial cfg ~seed:cfg.Runtime.Config.seed in
+  let sharded =
+    Runtime.Runner.run_trial
+      { cfg with Runtime.Config.shards = Some 4 }
+      ~seed:cfg.Runtime.Config.seed
+  in
+  Alcotest.(check string) "trial digest" (Runtime.Trial.digest plain)
+    (Runtime.Trial.digest sharded);
+  Alcotest.(check string) "results JSON bytes"
+    (Json.render (Runtime.Trial.to_json plain))
+    (Json.render (Runtime.Trial.to_json sharded))
+
 (* --- recorder unit behaviour ----------------------------------------- *)
 
 let all_kinds =
@@ -131,7 +184,7 @@ let all_kinds =
     Tracer.Lock_hold; Tracer.Free_call; Tracer.Flush; Tracer.Overflow; Tracer.Refill;
     Tracer.Remote_free; Tracer.Reclaim; Tracer.Splice; Tracer.Af_drain;
     Tracer.Epoch_advance; Tracer.Epoch_garbage; Tracer.Retire; Tracer.Measure_start;
-    Tracer.Thread_end;
+    Tracer.Thread_end; Tracer.Yield; Tracer.Shard_sync;
   ]
 
 let test_kind_codes_roundtrip () =
@@ -273,6 +326,8 @@ let suite =
       Helpers.quick "trace_digest_repeatable" test_trace_digest_repeatable;
       Helpers.quick "trace_digest_jobs" test_trace_digest_jobs;
       Helpers.quick "tracing_is_invisible" test_tracing_is_invisible;
+      Helpers.quick "cross_yield_counters" test_cross_yield_counters;
+      Helpers.quick "sharding_is_invisible" test_sharding_is_invisible;
       Helpers.quick "kind_codes_roundtrip" test_kind_codes_roundtrip;
       Helpers.quick "disabled_records_nothing" test_disabled_records_nothing;
       Helpers.quick "negative_duration_rejected" test_negative_duration_rejected;
