@@ -93,10 +93,11 @@ trace-paper:
 
 # Sharded event-loop / event-queue cross-validation matrix: shards {1, 4}
 # x queue {heap, wheel} must all produce byte-identical result JSONs (the
-# four configurations differ only in host time), on three pr-tier entries
-# and one paper-scale 192-thread entry. Subsumes the old queue-crosscheck
-# target; mirrors the jobs=1 vs jobs=2 diff job.
-CROSSCHECK_ENTRIES = ll-ebr-n1,sl-token-n32,occ-ebr-n32
+# four configurations differ only in host time), on four pr-tier entries
+# (epoch reclaimers plus one hazard-pointer entry) and one paper-scale
+# 192-thread entry. Subsumes the old queue-crosscheck target; mirrors the
+# jobs=1 vs jobs=2 diff job.
+CROSSCHECK_ENTRIES = ll-ebr-n1,sl-token-n32,occ-ebr-n32,ll-hp-n8
 CROSSCHECK_PAPER_ENTRY = paper-je-ebr-n192
 shard-crosscheck:
 	for q in heap wheel; do for s in 1 4; do \

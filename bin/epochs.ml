@@ -230,14 +230,29 @@ let comma_list s = String.split_on_char ',' s |> List.map String.trim
 
 let sweep_cmd =
   let smrs_arg =
-    Arg.(value & opt string "debra,debra_af,token_af" & info [ "smr" ] ~docv:"NAMES" ~doc:"Comma-separated reclaimers.")
+    Arg.(
+      value
+      & opt string "debra,debra_af,token_af"
+      & info [ "smr" ] ~docv:"NAMES"
+          ~doc:
+            "Comma-separated reclaimers; $(b,all) expands to every registered reclaimer, \
+             $(b,all_af) to every amortized-free variant.")
   in
   let threads_list_arg =
     Arg.(value & opt string "12,24,48,96,144,192" & info [ "threads" ] ~docv:"NS" ~doc:"Comma-separated thread counts.")
   in
   let run ds smrs alloc threads_list machine keys duration trials seed jobs =
     let jobs = resolve_jobs jobs in
-    let smrs = comma_list smrs in
+    (* [all] / [all_af] expand from the registry, so a newly registered
+       reclaimer shows up in sweeps without touching the CLI. *)
+    let smrs =
+      List.concat_map
+        (function
+          | "all" -> Smr.Smr_registry.names
+          | "all_af" -> List.map (fun n -> n ^ "_af") Smr.Smr_registry.names
+          | s -> [ s ])
+        (comma_list smrs)
+    in
     let threads = comma_list threads_list |> List.map int_of_string in
     let table = Report.Table.create ("smr \\ n" :: List.map string_of_int threads) in
     (* Every (smr, n) cell is independent: fan the whole grid out at once

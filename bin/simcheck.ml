@@ -268,10 +268,16 @@ let list_cmd =
         match Check.Mutant.of_name name with
         | Some m -> Printf.printf "  %-18s %s\n" name (Check.Mutant.describe m)
         | None -> ())
-      Check.Mutant.names
+      Check.Mutant.names;
+    Printf.printf "reclaimers (sim scenarios; each also accepts an _af suffix):\n";
+    List.iter
+      (fun name ->
+        Printf.printf "  %-18s %s\n" name
+          (Option.value ~default:"" (Smr.Smr_registry.describe name)))
+      Smr.Smr_registry.names
   in
   Cmd.v
-    (Cmd.info "list" ~doc:"List scenarios, strategies and mutants.")
+    (Cmd.info "list" ~doc:"List scenarios, strategies, mutants and reclaimers.")
     Term.(const run $ const ())
 
 (* The self-test matrix: every mutant must be caught by its oracle within
@@ -287,6 +293,13 @@ let selftest_matrix =
     ("par/ebr/batch", "random-walk", "uaf-free-early", 120);
     ("par/token/af", "delay-inject", "uaf-free-early", 120);
     ("par/ebr/af", "random-walk", "lost-callback", 20);
+    (* The HP-specific mutants only bite in the hazard-pointer scenarios:
+       skipping the validate is a use-after-free the slab sequence probe
+       observes; dropping retire-list entries is a leak conservation
+       counts after the final flush. *)
+    ("sim/list/hazard", "random-walk", "uaf-free-early", 20);
+    ("par/hp/batch", "random-walk", "hp-skip-validate", 20);
+    ("par/hp/af", "random-walk", "hp-drop-retired", 20);
   ]
 
 let selftest_cmd =

@@ -2,29 +2,49 @@
    what they claim to catch (and for the CI self-test: a checker that
    never fails is indistinguishable from a checker that checks nothing).
 
-   Each mutant perturbs only the retire path of the scenario under test —
-   the structure and the SMR implementation itself are untouched — so a
-   caught mutant demonstrates the oracle, not a broken build. *)
+   Each mutant perturbs only the retire path — or, for the hazard-pointer
+   pair, the protect/validate read path — of the scenario under test; the
+   structure and the SMR implementation itself are untouched, so a caught
+   mutant demonstrates the oracle, not a broken build. The HP mutants only
+   have an effect in the hazard-pointer scenarios (a protect loop to skip
+   validation in, a retire list to drop entries from); elsewhere they run
+   the genuine protocol. *)
 
 type t =
   | Uaf_free_early  (* release at retire time: no grace period at all *)
   | Uaf_short_grace  (* release one operation later: a too-short grace period *)
   | Lost_callback  (* drop the release: a leak, caught by conservation *)
+  | Hp_skip_validate
+    (* use a protected value without re-validating the source after
+       publishing the hazard slot: the classic HP misuse, a use-after-free
+       when the object died between read and publish *)
+  | Hp_drop_retired
+    (* silently drop every fifth hazard-pointer retire-list entry: the
+       scan never sees it, so the object leaks (conservation) *)
 
-let names = [ "uaf-free-early"; "uaf-short-grace"; "lost-callback" ]
+let names =
+  [ "uaf-free-early"; "uaf-short-grace"; "lost-callback"; "hp-skip-validate"; "hp-drop-retired" ]
 
 let to_name = function
   | Uaf_free_early -> "uaf-free-early"
   | Uaf_short_grace -> "uaf-short-grace"
   | Lost_callback -> "lost-callback"
+  | Hp_skip_validate -> "hp-skip-validate"
+  | Hp_drop_retired -> "hp-drop-retired"
 
 let of_name = function
   | "uaf-free-early" -> Some Uaf_free_early
   | "uaf-short-grace" -> Some Uaf_short_grace
   | "lost-callback" -> Some Lost_callback
+  | "hp-skip-validate" -> Some Hp_skip_validate
+  | "hp-drop-retired" -> Some Hp_drop_retired
   | _ -> None
 
 let describe = function
   | Uaf_free_early -> "free retired objects immediately (no grace period)"
   | Uaf_short_grace -> "free retired objects after one further operation (too-short grace)"
   | Lost_callback -> "drop release callbacks (leak)"
+  | Hp_skip_validate ->
+      "skip the validate after publishing a hazard slot (use-after-free; HP scenarios only)"
+  | Hp_drop_retired ->
+      "drop every fifth hazard-pointer retire-list entry (leak; HP scenarios only)"

@@ -1,11 +1,19 @@
 (** Seeded protocol bugs for oracle self-tests: each perturbs only the
-    retire path of the scenario under test, so a caught mutant
-    demonstrates the oracle rather than a broken build. *)
+    retire path — or, for the HP pair, the protect/validate read path — of
+    the scenario under test, so a caught mutant demonstrates the oracle
+    rather than a broken build. *)
 
 type t =
   | Uaf_free_early  (** release at retire time: no grace period at all *)
   | Uaf_short_grace  (** release one operation later: too-short grace *)
   | Lost_callback  (** drop the release: a leak, caught by conservation *)
+  | Hp_skip_validate
+      (** skip the validate after publishing a hazard slot: a
+          use-after-free when the object died between read and publish.
+          Only effective in hazard-pointer scenarios. *)
+  | Hp_drop_retired
+      (** drop every fifth HP retire-list entry: a leak the scan can never
+          repair. Only effective in hazard-pointer scenarios. *)
 
 val names : string list
 val to_name : t -> string

@@ -74,6 +74,10 @@ let mutated_retire ~(smr : Smr.Smr_intf.t) ~safety ~policy ~held = function
         stash := Some h;
         incr held
   | Some Mutant.Lost_callback -> fun _ _ -> ()
+  (* The HP mutants perturb the protect/validate path of the dedicated
+     hazard-pointer runner; under the generic runners they leave the
+     protocol genuine (the selftest matrix pins them to HP scenarios). *)
+  | Some (Mutant.Hp_skip_validate | Mutant.Hp_drop_retired) -> smr.Smr.Smr_intf.retire
 
 let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy.recorder)
     ~mutant =
@@ -92,7 +96,12 @@ let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy
   let mode = if af then Smr.Free_policy.Amortized 1 else Smr.Free_policy.Batch in
   let policy = Smr.Free_policy.create ~safety ~mode ~alloc ~n () in
   let ctx = { Smr.Smr_intf.sched; alloc; policy; safety = Some safety } in
-  let smr = Smr.Smr_registry.make ~token_period:16 ~debra_check_every:2 base_smr ctx in
+  (* [buffer_size] only reaches the buffered family and the hazard scan
+     threshold; 24 makes hazard scans fire many times within the small
+     checkable workload (epoch reclaimers ignore it). *)
+  let smr =
+    Smr.Smr_registry.make ~token_period:16 ~buffer_size:24 ~debra_check_every:2 base_smr ctx
+  in
   let held = ref 0 in
   let retire = mutated_retire ~smr ~safety ~policy ~held mutant in
   let node_cost = Cost_model.node_cost (Sched.cost sched) ~sockets_used:1 in
@@ -358,6 +367,9 @@ let run_par ~name ~make_proto ~params ~tracer ~seed ~(recorder : Strategy.record
           (match !stash with Some f -> f () | None -> ());
           stash := Some cb
     | Some Mutant.Lost_callback -> fun _ _ -> ()
+    | Some (Mutant.Hp_skip_validate | Mutant.Hp_drop_retired) ->
+        (* HP-specific mutants: genuine protocol under the generic runner. *)
+        proto.retire
   in
   let interleaving = Buffer.create 256 in
   let ops_done = ref 0 in
@@ -536,6 +548,264 @@ let run_par ~name ~make_proto ~params ~tracer ~seed ~(recorder : Strategy.record
   }
 
 (* ------------------------------------------------------------------ *)
+(* Hazard-pointer scenario: the real Parallel.Hp protocol, with its    *)
+(* protect/validate loop driven explicitly so the adversary can park a *)
+(* thread between the read, the publish and the validate — the races   *)
+(* hazard pointers exist to survive.                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* The workload mirrors [run_par]'s producer/consumer/stalled-reader over
+   Slab + Treiber_stack, but consumers and readers follow the full HP
+   discipline: peek the head, (checkpoint: the value may die here),
+   publish it in a hazard slot, re-validate the head — same block, same
+   push-time sequence, so an ABA re-push fails the validate — and only
+   then dereference. Two oracles are HP-specific: the slab sequence probe
+   on every protected dereference (a recycled block is a use-after-free
+   made observable), and a pointer-protection check inside every release
+   callback — an object may be freed only when no published hazard slot
+   holds it.
+
+   Mutants: [Hp_skip_validate] returns straight after the publish (the
+   classic misuse; the sequence probe catches the schedule where the block
+   died between read and publish); [Hp_drop_retired] silently drops every
+   fifth retire-list entry (the scan can never repair it; conservation
+   counts the missing blocks after the final flush). The three generic
+   mutants perturb the retire path exactly as in [run_par]. *)
+let run_par_hp ~name ~mode ~params ~tracer ~seed ~(recorder : Strategy.recorder) ~mutant =
+  let p = params in
+  let n = p.par_threads in
+  let violations = ref [] in
+  let add v = violations := v :: !violations in
+  let sched = Sched.create ~topology:Topology.intel_192t ~n_threads:n ~seed () in
+  Sched.set_controller sched (Some recorder.Strategy.controller);
+  Sched.set_tracer sched tracer;
+  let slab = Parallel.Slab.create ~blocks:p.blocks ~block_words:2 in
+  let stack = Parallel.Treiber_stack.create () in
+  let liv = Liveness.create () in
+  let hp = Parallel.Hp.create ~mode ~scan_threshold:8 ~slots_per_domain:2 ~max_domains:n () in
+  let handles = Array.init n (fun _ -> Parallel.Hp.register hp) in
+  let skip_validate = mutant = Some Mutant.Hp_skip_validate in
+  let drop_counter = ref 0 in
+  let stash = ref None in
+  (* Release through the pointer-protection oracle. *)
+  let release_block b () =
+    if Parallel.Hp.is_protected hp b then
+      add
+        {
+          Oracle.oracle = Oracle.smr_safety;
+          detail =
+            Printf.sprintf
+              "block %d released while a published hazard slot still holds it" b;
+        };
+    Parallel.Slab.free slab b
+  in
+  let retire i b =
+    match mutant with
+    | Some Mutant.Uaf_free_early -> release_block b ()
+    | Some Mutant.Uaf_short_grace ->
+        (match !stash with Some f -> f () | None -> ());
+        stash := Some (release_block b)
+    | Some Mutant.Lost_callback -> ()
+    | Some Mutant.Hp_drop_retired ->
+        incr drop_counter;
+        if !drop_counter mod 5 = 0 then ()
+        else Parallel.Hp.retire handles.(i) ~value:b (release_block b)
+    | None | Some Mutant.Hp_skip_validate ->
+        Parallel.Hp.retire handles.(i) ~value:b (release_block b)
+  in
+  (* Scans are this protocol's reclamation progress (there is no epoch). *)
+  let last_scans = ref 0 in
+  let note_advance i =
+    let s = Array.fold_left (fun a h -> a + Parallel.Hp.scans h) 0 handles in
+    if s > !last_scans then begin
+      last_scans := s;
+      Liveness.note_advance liv ~time:(Sched.thread sched i).Sched.clock
+    end
+  in
+  let total_pending () = Array.fold_left (fun a h -> a + Parallel.Hp.pending h) 0 handles in
+  let interleaving = Buffer.create 256 in
+  let ops_done = ref 0 in
+  (try
+     let quiet = Array.make n 0 in
+     let drain_cap = 8 * p.par_quiet in
+     let draining () =
+       Array.exists (fun q -> q < p.par_quiet) quiet
+       || (total_pending () > p.par_drain_slack && Array.exists (fun q -> q < drain_cap) quiet)
+     in
+     let mains_done = ref 0 in
+     (* Protect the current stack head in [slot]: peek, park-able window,
+        publish, validate (unless mutated). [None] when the stack is empty
+        or the head would not stabilize within the retry bound. *)
+     let rec acquire (th : Sched.thread) h ~slot tries =
+       match Parallel.Treiber_stack.peek stack with
+       | None -> None
+       | Some (b, seq) ->
+           (* The value is read but not yet published: the adversary may
+              run the whole world here — pop, retire, scan, recycle. *)
+           Sched.checkpoint th;
+           Parallel.Hp.protect h ~slot b;
+           if skip_validate then Some (b, seq)
+           else (
+             match Parallel.Treiber_stack.peek stack with
+             | Some (b', seq') when b' = b && seq' = seq -> Some (b, seq)
+             | _ ->
+                 (* Clear before the retry's checkpoint: a value that failed
+                    validation must not stay published, or the release-time
+                    protection oracle would see the stale, harmless slot. *)
+                 Parallel.Hp.clear h ~slot;
+                 Parallel.Hp.note_retry h;
+                 if tries < 32 then acquire th h ~slot (tries + 1) else None)
+     in
+     let probe_protected i b seq ~where =
+       if Parallel.Slab.sequence slab b <> seq then
+         add
+           {
+             Oracle.oracle = Oracle.smr_safety;
+             detail =
+               Printf.sprintf
+                 "thread %d dereferenced block %d under a hazard slot (%s) with sequence %d, \
+                  found %d — block recycled despite the protection protocol"
+                 i b where seq
+                 (Parallel.Slab.sequence slab b);
+           }
+       else if Parallel.Slab.read slab b ~word:0 <> (b * 7) + 1 then
+         add
+           {
+             Oracle.oracle = Oracle.smr_safety;
+             detail = Printf.sprintf "thread %d read torn payload in block %d (%s)" i b where;
+           }
+     in
+     let body (th : Sched.thread) =
+       let i = th.Sched.tid in
+       let h = handles.(i) in
+       for _ = 1 to p.par_ops do
+         Parallel.Hp.enter h;
+         Sched.work th Metrics.Ds 120;
+         Buffer.add_string interleaving (string_of_int i);
+         Buffer.add_char interleaving ';';
+         (match Rng.int_below th.Sched.rng 3 with
+         | 0 -> (
+             (* Producer: publish a block through the stack. *)
+             match Parallel.Slab.alloc slab with
+             | Some b ->
+                 Parallel.Slab.write slab b ~word:0 ((b * 7) + 1);
+                 Parallel.Treiber_stack.push stack ~value:b ~seq:(Parallel.Slab.sequence slab b)
+             | None -> ())
+         | 1 -> (
+             (* Consumer: protect the head, dereference it, pop it, retire
+                it. Validate and pop run back-to-back (no checkpoint), so
+                a successful acquire pops exactly the protected block. *)
+             match acquire th h ~slot:0 0 with
+             | Some (b, seq) ->
+                 probe_protected i b seq ~where:"consumer";
+                 (match Parallel.Treiber_stack.pop stack with
+                 | Some (bp, _) ->
+                     Parallel.Hp.clear h ~slot:0;
+                     retire i bp
+                 | None -> Parallel.Hp.clear h ~slot:0)
+             | None -> ())
+         | _ -> (
+             (* Stalled reader: protect the head, then yield while holding
+                the protection. However long the adversary parks this
+                thread, scans must keep the published block alive. *)
+             match acquire th h ~slot:1 0 with
+             | Some (b, seq) ->
+                 Sched.work th Metrics.Ds 40;
+                 Sched.checkpoint th;
+                 probe_protected i b seq ~where:"stalled reader";
+                 Parallel.Hp.clear h ~slot:1
+             | None -> ()));
+         Parallel.Hp.exit h;
+         note_advance i;
+         incr ops_done;
+         Liveness.sample_pending liv (Parallel.Hp.pending h);
+         Sched.checkpoint th
+       done;
+       incr mains_done;
+       if !mains_done = n then Sched.set_controller sched None;
+       (* Quiet phase: no retirements, so the backlog must drain. Unlike
+          the epoch protocols, nothing advances HP's reclamation once
+          retires stop — the quiet-phase scan (the protocol's thread-exit
+          scan) drives the leftover retire-list entries out. *)
+       while draining () do
+         Parallel.Hp.enter h;
+         Sched.work th Metrics.Ds 60;
+         Parallel.Hp.scan_now h;
+         Parallel.Hp.exit h;
+         note_advance i;
+         quiet.(i) <- quiet.(i) + 1;
+         Sched.wait th Metrics.Idle 20_000;
+         Sched.checkpoint th
+       done
+     in
+     Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
+     Sched.run sched;
+     (* --- Epilogue: all workers done, so flushing is safe. --- *)
+     (match !stash with
+     | Some f ->
+         f ();
+         stash := None
+     | None -> ());
+     let pending_before_flush = total_pending () in
+     Array.iter Parallel.Hp.flush_unsafe handles;
+     let rec drain_stack () =
+       match Parallel.Treiber_stack.pop stack with
+       | Some (b, _) ->
+           Parallel.Slab.free slab b;
+           drain_stack ()
+       | None -> ()
+     in
+     drain_stack ();
+     if Parallel.Slab.free_blocks slab <> p.blocks then
+       add
+         {
+           Oracle.oracle = Oracle.conservation;
+           detail =
+             Printf.sprintf
+               "%d of %d slab blocks unaccounted for after flushing and draining — retire-list \
+                entries were lost"
+               (p.blocks - Parallel.Slab.free_blocks slab)
+               p.blocks;
+         };
+     let retired, released =
+       Array.fold_left
+         (fun (r, f) h -> (r + Parallel.Hp.retired h, f + Parallel.Hp.released h))
+         (0, 0) handles
+     in
+     if retired <> released then
+       add
+         {
+           Oracle.oracle = Oracle.conservation;
+           detail =
+             Printf.sprintf "%d retirements but %d releases after the final flush" retired
+               released;
+         };
+     let end_time =
+       Array.fold_left (fun m (th : Sched.thread) -> max m th.Sched.clock) 0 (Sched.threads sched)
+     in
+     Liveness.finish liv ~end_time;
+     List.iter add
+       (Liveness.report liv ?pending_cap:p.par_pending_cap
+          ~injected_ns:(recorder.Strategy.injected_ns ())
+          ~final_pending:pending_before_flush ~drain_slack:p.par_drain_slack ())
+   with e -> add { Oracle.oracle = Oracle.crash; detail = Printexc.to_string e });
+  let final_clocks =
+    Array.to_list (Array.map (fun (th : Sched.thread) -> th.Sched.clock) (Sched.threads sched))
+  in
+  {
+    Oracle.scenario = name;
+    seed;
+    steps = recorder.Strategy.steps ();
+    injected_ns = recorder.Strategy.injected_ns ();
+    ops = !ops_done;
+    schedule_digest =
+      Oracle.schedule_digest
+        ~decisions:(recorder.Strategy.decisions ())
+        ~interleaving:(Buffer.contents interleaving) ~final_clocks;
+    violations = List.rev !violations;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* Registry                                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -555,6 +825,15 @@ let par ~name ~summary ~make_proto params =
     run =
       (fun ~tracer ~seed ~recorder ~mutant ->
         run_par ~name ~make_proto ~params ~tracer ~seed ~recorder ~mutant);
+  }
+
+let par_hp ~name ~summary ~mode params =
+  {
+    name;
+    summary;
+    run =
+      (fun ~tracer ~seed ~recorder ~mutant ->
+        run_par_hp ~name ~mode ~params ~tracer ~seed ~recorder ~mutant);
   }
 
 (* Base epoch-stall budgets (virtual ns) are calibrated against the
@@ -610,6 +889,25 @@ let all =
     par ~name:"par/token/af" ~summary:"real Token-EBR ring (Atomics), amortized release"
       ~make_proto:(fun ~n liv get_time ->
         make_token ~mode:(Parallel.Token_ring.Amortized 2) ~n liv get_time)
+      { default_par with par_pending_cap = Some 256 };
+    sim ~name:"sim/list/hazard" ~summary:"lazy list set, hazard pointers, batch free"
+      ~ds_name:"list" ~smr_name:"hazard"
+      { default_sim with stall_budget = Some 12_000_000 };
+    sim ~name:"sim/abtree/hazard_af"
+      ~summary:"(a,b)-tree, hazard pointers, amortized free"
+      ~ds_name:"abtree" ~smr_name:"hazard_af"
+      {
+        default_sim with
+        stall_budget = Some 12_000_000;
+        pending_cap = Some 512;
+        drain_slack = 4;
+      };
+    par_hp ~name:"par/hp/batch"
+      ~summary:"real hazard pointers (Atomics), protect/validate loop, batch release"
+      ~mode:Parallel.Hp.Batch default_par;
+    par_hp ~name:"par/hp/af"
+      ~summary:"real hazard pointers (Atomics), protect/validate loop, amortized release"
+      ~mode:(Parallel.Hp.Amortized 2)
       { default_par with par_pending_cap = Some 256 };
   ]
 

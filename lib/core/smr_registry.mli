@@ -1,10 +1,21 @@
 (** Reclaimers by name: the ten algorithms of the paper's evaluation, the
-    Token-EBR development variants and the leaky baseline. *)
+    Token-EBR development variants, the genuine hazard-pointer reclaimer
+    ({!Hazard}) and the leaky/unsafe baselines.
+
+    A single constructor table is the source of truth: {!names}, {!make}
+    and the unknown-name error all derive from it, so registering a new
+    reclaimer is a one-place change. *)
 
 val paper_algorithms : string list
-(** The ten algorithms of Experiments 1 and 2, in the paper's order. *)
+(** The ten algorithms of Experiments 1 and 2, in the paper's order (a
+    subset of {!names}). *)
 
 val names : string list
+(** Every registered base name, in registry order. Each also accepts an
+    ["_af"] suffix (see {!parse}). *)
+
+val describe : string -> string option
+(** One-line description of a registered base name; [None] if unknown. *)
 
 val parse : string -> string * bool
 (** [parse name] strips a trailing ["_af"], returning the base algorithm
@@ -17,8 +28,8 @@ val make :
   string ->
   Smr_intf.ctx ->
   Smr_intf.t
-(** Instantiate a reclaimer by base name (["debra"], ["qsbr"], ["token"],
-    ["token-naive"], ["token-passfirst"], ["hp"], ["he"], ["wfe"], ["ibr"],
-    ["rcu"], ["nbr"], ["nbr+"], ["none"], ["unsafe-immediate"]). The AF/
-    batch choice lives in the context's {!Free_policy.t}.
-    @raise Invalid_argument on an unknown name. *)
+(** Instantiate a reclaimer by base name (any member of {!names}). The
+    AF/batch choice lives in the context's {!Free_policy.t}; [buffer_size]
+    doubles as the ["hazard"] scan threshold.
+    @raise Invalid_argument on an unknown name (the message lists the
+    valid names). *)

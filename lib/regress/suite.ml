@@ -34,9 +34,23 @@ let base ~ds ~smr ~threads =
     validate = true;
   }
 
+(* Hazard-pointer entries scan when a thread's retire list reaches
+   [buffer_size]; the 384 default is sized for long CLI runs and would
+   never fire inside these few-millisecond windows (a thread retires a
+   couple hundred objects at most), leaving the reclaimer degenerate —
+   zero scans, zero frees. 48 yields several scans per thread per window
+   in both tiers. *)
+let hp_buffer_size = 48
+
+let with_hp_threshold (cfg : Runtime.Config.t) =
+  if String.length cfg.Runtime.Config.smr >= 6 && String.sub cfg.Runtime.Config.smr 0 6 = "hazard"
+  then { cfg with Runtime.Config.buffer_size = hp_buffer_size }
+  else cfg
+
 let pr_tier =
   List.map
-    (fun (id, ds, smr, threads) -> { id; tier = "pr"; config = base ~ds ~smr ~threads })
+    (fun (id, ds, smr, threads) ->
+      { id; tier = "pr"; config = with_hp_threshold (base ~ds ~smr ~threads) })
     [
       (* EBR (DEBRA) vs Token-EBR vs their amortized-free variants, over the
          three structures and 1/8/32 simulated threads. *)
@@ -52,12 +66,17 @@ let pr_tier =
       ("occ-ebr-af-n32", "occtree", "debra_af", 32);
       ("occ-token-n8", "occtree", "token", 8);
       ("occ-token-af-n32", "occtree", "token_af", 32);
+      (* Hazard pointers: the zoo's non-epoch reclaimer, batch and AF. *)
+      ("ll-hp-n8", "list", "hazard", 8);
+      ("sl-hp-af-n8", "skiplist", "hazard_af", 8);
+      ("occ-hp-n32", "occtree", "hazard", 32);
+      ("occ-hp-af-n32", "occtree", "hazard_af", 32);
     ]
 
 (* Paper-scale: the ABtree (the paper's RBF victim) at the testbed's full
-   192 threads, all six allocator models x {debra, token} x {batch, AF}.
-   Virtual windows are kept short — 192 threads generate ~6x the events of
-   the n32 entries per virtual ns, and this tier is 24 entries. *)
+   192 threads, all six allocator models x {debra, token, hazard} x {batch,
+   AF}. Virtual windows are kept short — 192 threads generate ~6x the
+   events of the n32 entries per virtual ns, and this tier is 36 entries. *)
 let paper_base ~smr ~alloc =
   {
     Runtime.Config.default with
@@ -83,9 +102,16 @@ let paper_tier =
           {
             id = Printf.sprintf "paper-%s-%s-n192" tag smr_tag;
             tier = "paper";
-            config = paper_base ~smr ~alloc;
+            config = with_hp_threshold (paper_base ~smr ~alloc);
           })
-        [ ("debra", "ebr"); ("debra_af", "ebr-af"); ("token", "token"); ("token_af", "token-af") ])
+        [
+          ("debra", "ebr");
+          ("debra_af", "ebr-af");
+          ("token", "token");
+          ("token_af", "token-af");
+          ("hazard", "hp");
+          ("hazard_af", "hp-af");
+        ])
     [
       ("jemalloc", "je");
       ("jemalloc-ba", "jeba");

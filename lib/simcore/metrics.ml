@@ -30,6 +30,9 @@ type t = {
   mutable yields : int;  (* checkpoint yields actually performed *)
   mutable elided_yields : int;  (* checkpoint yields skipped (thread stayed minimal) *)
   mutable shard_syncs : int;  (* sharded dispatch: resumptions that crossed a shard boundary *)
+  mutable hp_scans : int;  (* hazard-pointer retire-list scans *)
+  mutable hp_protect_retries : int;  (* protect/validate loops that had to retry *)
+  mutable max_retired : int;  (* high-water mark of any per-thread retire list *)
   free_call_hist : Histogram.t;  (* latency of individual free calls *)
   op_hist : Histogram.t;  (* virtual latency of whole operations *)
 }
@@ -56,6 +59,9 @@ let create () =
     yields = 0;
     elided_yields = 0;
     shard_syncs = 0;
+    hp_scans = 0;
+    hp_protect_retries = 0;
+    max_retired = 0;
     free_call_hist = Histogram.create ();
     op_hist = Histogram.create ();
   }
@@ -96,6 +102,9 @@ let merge into t =
   into.yields <- into.yields + t.yields;
   into.elided_yields <- into.elided_yields + t.elided_yields;
   into.shard_syncs <- into.shard_syncs + t.shard_syncs;
+  into.hp_scans <- into.hp_scans + t.hp_scans;
+  into.hp_protect_retries <- into.hp_protect_retries + t.hp_protect_retries;
+  into.max_retired <- max into.max_retired t.max_retired;
   Histogram.merge into.free_call_hist t.free_call_hist;
   Histogram.merge into.op_hist t.op_hist
 
@@ -128,6 +137,11 @@ let diff ~before ~after =
     yields = after.yields - before.yields;
     elided_yields = after.elided_yields - before.elided_yields;
     shard_syncs = after.shard_syncs - before.shard_syncs;
+    hp_scans = after.hp_scans - before.hp_scans;
+    hp_protect_retries = after.hp_protect_retries - before.hp_protect_retries;
+    (* A high-water mark cannot be windowed: the [after] value is the whole
+       run's maximum, which is the honest upper bound for any window. *)
+    max_retired = after.max_retired;
     free_call_hist = after.free_call_hist;
     op_hist = after.op_hist;
   }

@@ -38,6 +38,13 @@ type t = {
       (** checkpoint yields elided because the thread stayed minimal *)
   mutable shard_syncs : int;
       (** sharded dispatch only: resumptions that crossed a shard boundary *)
+  mutable hp_scans : int;  (** hazard-pointer retire-list scans *)
+  mutable hp_protect_retries : int;
+      (** hazard-pointer protect/validate loops that had to retry *)
+  mutable max_retired : int;
+      (** high-water mark of any per-thread retire list; merged with [max],
+          not summed, and not windowable by {!diff} (the [after] value is
+          kept) *)
   free_call_hist : Histogram.t;  (** latency of individual free calls *)
   op_hist : Histogram.t;  (** virtual latency of whole operations *)
 }

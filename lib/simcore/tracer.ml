@@ -48,6 +48,9 @@ type kind =
   | Yield  (* instant: a checkpoint; a = 1 performed yield, 0 elided *)
   | Shard_sync  (* instant: sharded dispatch resumed this thread across a shard
                    boundary; a = shard index *)
+  | Hp_protect  (* instant: a hazard-pointer protect loop retried; a = retries *)
+  | Hp_scan  (* span: one hazard-pointer retire-list scan; a = objects freed,
+                b = retire-list length at scan entry *)
 
 let code = function
   | Run -> 0
@@ -71,6 +74,8 @@ let code = function
   | Thread_end -> 18
   | Yield -> 19
   | Shard_sync -> 20
+  | Hp_protect -> 21
+  | Hp_scan -> 22
 
 let of_code = function
   | 0 -> Run
@@ -94,6 +99,8 @@ let of_code = function
   | 18 -> Thread_end
   | 19 -> Yield
   | 20 -> Shard_sync
+  | 21 -> Hp_protect
+  | 22 -> Hp_scan
   | _ -> invalid_arg "Tracer.of_code: unknown kind"
 
 let kind_name = function
@@ -118,6 +125,8 @@ let kind_name = function
   | Thread_end -> "thread_end"
   | Yield -> "yield"
   | Shard_sync -> "shard_sync"
+  | Hp_protect -> "hp_protect"
+  | Hp_scan -> "hp_scan"
 
 type t = {
   enabled : bool;

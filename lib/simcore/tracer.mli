@@ -39,7 +39,12 @@
       minimum and ran straight through) — the [yields]/[elided_yields]
       counters. [Shard_sync]: instant when the sharded dispatch loop
       resumes a thread across a shard boundary (the [shard_syncs]
-      counter), [a] = the resuming thread's shard index. *)
+      counter), [a] = the resuming thread's shard index.
+    - [Hp_protect]: instant when a hazard-pointer protect/validate loop had
+      to retry, [a] = retries charged (the [hp_protect_retries] counter).
+      [Hp_scan]: span of one hazard-pointer retire-list scan (the
+      [hp_scans] counter), [a] = objects found reclaimable, [b] =
+      retire-list length at scan entry. *)
 type kind =
   | Run
   | Stall
@@ -62,6 +67,8 @@ type kind =
   | Thread_end
   | Yield
   | Shard_sync
+  | Hp_protect
+  | Hp_scan
 
 val code : kind -> int
 val of_code : int -> kind

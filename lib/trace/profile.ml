@@ -30,6 +30,10 @@ type t = {
   yields : int;
   elided_yields : int;
   shard_syncs : int;
+  hp_scans : int;
+  hp_scan_ns : int;
+  hp_freed : int;
+  hp_protect_retries : int;
   locks : lock_stat list;
   max_epoch_gap_ns : int;
   peak_epoch_garbage : int;
@@ -85,6 +89,10 @@ let of_tracer tr =
   and yields = ref 0
   and elided_yields = ref 0
   and shard_syncs = ref 0
+  and hp_scans = ref 0
+  and hp_scan_ns = ref 0
+  and hp_freed = ref 0
+  and hp_protect_retries = ref 0
   and peak_garbage = ref 0 in
   let locks : (int, lock_acc) Hashtbl.t = Hashtbl.create 8 in
   let lock_acc id =
@@ -130,6 +138,11 @@ let of_tracer tr =
         | Tracer.Af_drain -> af_drained := !af_drained + e.Tracer.a
         | Tracer.Yield -> if e.Tracer.a = 1 then incr yields else incr elided_yields
         | Tracer.Shard_sync -> incr shard_syncs
+        | Tracer.Hp_scan ->
+            incr hp_scans;
+            hp_scan_ns := !hp_scan_ns + e.Tracer.dur;
+            hp_freed := !hp_freed + e.Tracer.a
+        | Tracer.Hp_protect -> hp_protect_retries := !hp_protect_retries + e.Tracer.a
         | _ -> ()
       end)
     evs;
@@ -178,6 +191,10 @@ let of_tracer tr =
     yields = !yields;
     elided_yields = !elided_yields;
     shard_syncs = !shard_syncs;
+    hp_scans = !hp_scans;
+    hp_scan_ns = !hp_scan_ns;
+    hp_freed = !hp_freed;
+    hp_protect_retries = !hp_protect_retries;
     locks = lock_stats;
     max_epoch_gap_ns;
     peak_epoch_garbage = !peak_garbage;
@@ -202,6 +219,9 @@ let pp ppf p =
     p.reclaimed p.af_drained;
   Fmt.pf ppf "@,yields %d performed, %d elided, %d shard syncs" p.yields p.elided_yields
     p.shard_syncs;
+  if p.hp_scans > 0 || p.hp_protect_retries > 0 then
+    Fmt.pf ppf "@,hazard scans %d (%.3f ms, %d objects reclaimable), protect retries %d"
+      p.hp_scans (ms p.hp_scan_ns) p.hp_freed p.hp_protect_retries;
   Fmt.pf ppf "@,longest epoch stall %.3f ms, peak epoch garbage %d" (ms p.max_epoch_gap_ns)
     p.peak_epoch_garbage;
   if p.locks <> [] then begin
@@ -238,6 +258,10 @@ let to_json p =
       ("yields", Json.Int p.yields);
       ("elided_yields", Json.Int p.elided_yields);
       ("shard_syncs", Json.Int p.shard_syncs);
+      ("hp_scans", Json.Int p.hp_scans);
+      ("hp_scan_ns", Json.Int p.hp_scan_ns);
+      ("hp_freed", Json.Int p.hp_freed);
+      ("hp_protect_retries", Json.Int p.hp_protect_retries);
       ("max_epoch_gap_ns", Json.Int p.max_epoch_gap_ns);
       ("peak_epoch_garbage", Json.Int p.peak_epoch_garbage);
       ( "locks",

@@ -46,6 +46,10 @@ type t = {
   yields : int;  (** performed context switches ([Yield] instants with a=1) *)
   elided_yields : int;  (** checkpoints that skipped the effect perform (a=0) *)
   shard_syncs : int;  (** sharded-loop window openings ([Shard_sync] instants) *)
+  hp_scans : int;  (** hazard-pointer [Hp_scan] spans in window *)
+  hp_scan_ns : int;  (** inclusive time of those scans *)
+  hp_freed : int;  (** objects those scans found reclaimable *)
+  hp_protect_retries : int;  (** re-published hazard slots ([Hp_protect] instants) *)
   locks : lock_stat list;  (** sorted by [wait_ns + overhead_ns], largest first *)
   max_epoch_gap_ns : int;  (** longest interval between epoch advances *)
   peak_epoch_garbage : int;  (** max [Epoch_garbage] payload in window *)

@@ -44,7 +44,8 @@ let drive ?(n = 4) ?(ops_per_thread = 3000) ?(mode = Smr.Free_policy.Batch) smr_
   Sched.run sched;
   (ctx, sched, smr, ds)
 
-let grace_period_names = [ "debra"; "qsbr"; "token"; "token-naive"; "token-passfirst"; "rcu"; "ibr" ]
+let grace_period_names =
+  [ "debra"; "qsbr"; "token"; "token-naive"; "token-passfirst"; "rcu"; "ibr"; "hazard" ]
 
 let safety_test name =
   Helpers.quick ("safety_" ^ name) (fun () ->
@@ -169,7 +170,9 @@ let test_grace_period_flags () =
     (fun name ->
       let smr = Smr.Smr_registry.make name ctx in
       Alcotest.(check bool) (name ^ " validates") true smr.Smr.Smr_intf.uses_grace_periods)
-    [ "debra"; "qsbr"; "token"; "rcu"; "ibr" ];
+    (* "hazard" is the genuine HP reclaimer, whose op-granularity free rule
+       is exactly the validator's — unlike "hp", the cost-model variant. *)
+    [ "debra"; "qsbr"; "token"; "rcu"; "ibr"; "hazard" ];
   List.iter
     (fun name ->
       let smr = Smr.Smr_registry.make name ctx in
@@ -179,8 +182,9 @@ let test_grace_period_flags () =
 let suite =
   ( "smr",
     List.map safety_test grace_period_names
-    @ List.map safety_test_af [ "debra"; "qsbr"; "token" ]
-    @ List.map test_leak_freedom [ "debra"; "token"; "qsbr"; "hp"; "nbr"; "hyaline"; "none" ]
+    @ List.map safety_test_af [ "debra"; "qsbr"; "token"; "hazard" ]
+    @ List.map test_leak_freedom
+        [ "debra"; "token"; "qsbr"; "hp"; "nbr"; "hyaline"; "none"; "hazard" ]
     @ [
         Helpers.quick "unsafe_immediate_caught" test_unsafe_immediate_caught;
         Helpers.quick "epochs_advance" test_epochs_advance;

@@ -159,6 +159,52 @@ let test_cross_yield_counters () =
         Alcotest.(check bool) "syncs recorded" true (p.Simtrace.Profile.shard_syncs > 0))
     [ 1; 4 ]
 
+(* --- hazard-pointer counters ------------------------------------------ *)
+
+(* The hazard-pointer counters (scans, protect retries) have no Trial
+   counterpart either, so cross-check the trace-derived counts against the
+   Metrics counters directly on a raw retire-heavy workload under the
+   hazard reclaimer. Scans double as reclamation passes ([epochs]), so that
+   equality is asserted too. *)
+let test_cross_hp_counters () =
+  let ctx, sched = Helpers.make_ctx ~n:4 () in
+  let tracer = Tracer.create () in
+  Sched.set_tracer sched tracer;
+  let smr = Smr.Smr_registry.make ~buffer_size:16 "hazard" ctx in
+  Array.iter
+    (fun (th : Sched.thread) ->
+      Sched.spawn sched th (fun th ->
+          for _ = 1 to 300 do
+            (match ctx.Smr.Smr_intf.safety with
+            | Some s -> Smr.Safety.note_op_begin s ~tid:th.Sched.tid ~time:(Sched.now th)
+            | None -> ());
+            smr.Smr.Smr_intf.begin_op th;
+            smr.Smr.Smr_intf.retire th (ctx.Smr.Smr_intf.alloc.Alloc.Alloc_intf.malloc th 64);
+            smr.Smr.Smr_intf.end_op th;
+            Sched.checkpoint th
+          done;
+          match ctx.Smr.Smr_intf.safety with
+          | Some s -> Smr.Safety.note_quiescent s ~tid:th.Sched.tid
+          | None -> ()))
+    (Sched.threads sched);
+  Sched.run sched;
+  let sum f = Array.fold_left (fun acc th -> acc + f th.Sched.metrics) 0 (Sched.threads sched) in
+  let p = Simtrace.Profile.of_tracer tracer in
+  let chk = Alcotest.(check int) in
+  chk "hp_scans" (sum (fun m -> m.Metrics.hp_scans)) p.Simtrace.Profile.hp_scans;
+  chk "hp_protect_retries"
+    (sum (fun m -> m.Metrics.hp_protect_retries))
+    p.Simtrace.Profile.hp_protect_retries;
+  chk "scans are the reclaimer's passes" (sum (fun m -> m.Metrics.epochs))
+    p.Simtrace.Profile.hp_scans;
+  Alcotest.(check bool) "scans recorded" true (p.Simtrace.Profile.hp_scans > 0);
+  Alcotest.(check bool) "retries recorded" true (p.Simtrace.Profile.hp_protect_retries > 0);
+  Alcotest.(check bool) "reclaimable objects recorded" true (p.Simtrace.Profile.hp_freed > 0);
+  Alcotest.(check bool) "scan time recorded" true (p.Simtrace.Profile.hp_scan_ns > 0);
+  match Smr.Safety.violations (Option.get ctx.Smr.Smr_intf.safety) with
+  | [] -> ()
+  | v :: _ -> Alcotest.fail (Format.asprintf "validator violation: %a" Smr.Safety.pp_violation v)
+
 (* Sharding obeys the same invisibility contract as tracing: byte-identical
    canonical results through the runner. 49 threads spans two sockets, so
    the sharded loop genuinely merges across shards here. *)
@@ -327,6 +373,7 @@ let suite =
       Helpers.quick "trace_digest_jobs" test_trace_digest_jobs;
       Helpers.quick "tracing_is_invisible" test_tracing_is_invisible;
       Helpers.quick "cross_yield_counters" test_cross_yield_counters;
+      Helpers.quick "cross_hp_counters" test_cross_hp_counters;
       Helpers.quick "sharding_is_invisible" test_sharding_is_invisible;
       Helpers.quick "kind_codes_roundtrip" test_kind_codes_roundtrip;
       Helpers.quick "disabled_records_nothing" test_disabled_records_nothing;
