@@ -96,10 +96,20 @@ let shards_arg =
           "Per-socket event-loop shard count. Defaults to \\$(b,EPOCHS_SHARDS) when set, else \
            1 (the unsharded loop). Results are byte-identical at any shard count.")
 
+let epsilon_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "epsilon" ] ~docv:"NS"
+        ~doc:
+          "Relaxed-dispatch window in virtual ns (sharded loops only). Defaults to \
+           \\$(b,EPOCHS_EPSILON) when set, else 0 (exact dispatch). Relaxed results are \
+           digest-distinct from exact ones and are gated statistically, not byte-compared.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
-let config ?shards ds smr alloc threads machine keys duration trials seed validate timeline
-    af_drain zipf =
+let config ?shards ?epsilon ds smr alloc threads machine keys duration trials seed validate
+    timeline af_drain zipf =
   let topology =
     match Simcore.Topology.by_name machine with
     | Some t -> t
@@ -123,6 +133,7 @@ let config ?shards ds smr alloc threads machine keys duration trials seed valida
     key_dist =
       (match zipf with None -> Runtime.Config.Uniform | Some theta -> Runtime.Config.Zipf theta);
     shards;
+    epsilon;
   }
 
 let maybe_write_svg (t : Runtime.Trial.t) = function
@@ -182,13 +193,16 @@ let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
 
 let run_cmd =
   let run ds smr alloc threads machine keys duration trials seed validate timeline garbage
-      af_drain zipf svg jobs trace trace_capacity shards =
+      af_drain zipf svg jobs trace trace_capacity shards epsilon =
     (match shards with
     | Some n when n < 1 -> failwith (Printf.sprintf "--shards must be at least 1, got %d" n)
     | _ -> ());
+    (match epsilon with
+    | Some n when n < 0 -> failwith (Printf.sprintf "--epsilon must be non-negative, got %d" n)
+    | _ -> ());
     let cfg =
-      config ?shards ds smr alloc threads machine keys duration trials seed validate timeline
-        af_drain zipf
+      config ?shards ?epsilon ds smr alloc threads machine keys duration trials seed validate
+        timeline af_drain zipf
     in
     let trials =
       match trace with
@@ -224,7 +238,7 @@ let run_cmd =
       const run $ ds_arg $ smr_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
       $ duration_arg $ trials_arg $ seed_arg $ validate_arg $ timeline_arg $ garbage_arg
       $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg $ trace_arg $ trace_capacity_arg
-      $ shards_arg)
+      $ shards_arg $ epsilon_arg)
 
 let comma_list s = String.split_on_char ',' s |> List.map String.trim
 

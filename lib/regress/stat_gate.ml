@@ -1,0 +1,219 @@
+(* Statistical-equivalence gate for epsilon-relaxed dispatch.
+
+   Exact-mode baselines are byte-compared (Gate.exact): any shard count
+   reproduces the same canonical bytes, so a digest is the right contract.
+   Relaxed dispatch (Sched epsilon > 0) deliberately gives that up — the
+   merge may pop heads out of global order within the window, so every
+   downstream number is digest-DISTINCT. The replacement contract is
+   distributional: over K seeds, the relaxed run must be statistically
+   indistinguishable from the exact run on the metrics the paper's claims
+   rest on (throughput, peak epoch garbage, free-call tail latency).
+
+   Two tests per metric, both must pass:
+
+   - relative mean shift: |mean(relaxed) - mean(exact)| / mean(exact)
+     bounded by a tolerance. At small K this is the workhorse — a
+     deterministic simulator's per-seed spread is small, so a genuine
+     regression moves the mean far before it moves ranks.
+
+   - Mann-Whitney rank test (normal approximation, mid-ranks, tie
+     corrected): |z| above the 99% two-sided critical value fails. At
+     K = 5 vs 5 the maximum attainable |z| is ~2.61, so 2.576 only trips
+     on (near-)total separation of the two samples — exactly the "every
+     relaxed seed is worse than every exact seed" signature that a mean
+     test with a generous tolerance can miss. *)
+
+type samples = { metric : string; exact : float list; relaxed : float list }
+
+type tolerance = { max_rel_mean_shift : float; max_abs_z : float }
+
+let default_tolerance = { max_rel_mean_shift = 0.05; max_abs_z = 2.576 }
+
+let mean = function
+  | [] -> 0.
+  | xs -> List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs)
+
+(* Mann-Whitney U via the normal approximation. Pooled values are ranked
+   with mid-ranks for ties; the variance carries the standard tie
+   correction. Returns 0 when either sample is empty or every pooled value
+   is tied (no ordering evidence either way). *)
+let mann_whitney_z xs ys =
+  let n1 = List.length xs and n2 = List.length ys in
+  if n1 = 0 || n2 = 0 then 0.
+  else begin
+    let pooled =
+      List.sort compare
+        (List.map (fun v -> (v, true)) xs @ List.map (fun v -> (v, false)) ys)
+    in
+    let arr = Array.of_list pooled in
+    let n = Array.length arr in
+    (* Sum of sample-1 mid-ranks, and sum of t^3 - t over tie groups. *)
+    let r1 = ref 0. and tie_term = ref 0. in
+    let i = ref 0 in
+    while !i < n do
+      let v = fst arr.(!i) in
+      let j = ref !i in
+      while !j < n && fst arr.(!j) = v do
+        incr j
+      done;
+      let t = !j - !i in
+      (* ranks are 1-based: positions !i .. !j-1 share the mid-rank *)
+      let midrank = float_of_int (!i + 1 + !j) /. 2. in
+      for k = !i to !j - 1 do
+        if snd arr.(k) then r1 := !r1 +. midrank
+      done;
+      let tf = float_of_int t in
+      tie_term := !tie_term +. ((tf *. tf *. tf) -. tf);
+      i := !j
+    done;
+    let n1f = float_of_int n1 and n2f = float_of_int n2 and nf = float_of_int n in
+    let u = !r1 -. (n1f *. (n1f +. 1.) /. 2.) in
+    let mu = n1f *. n2f /. 2. in
+    let var =
+      n1f *. n2f /. 12. *. (nf +. 1. -. (!tie_term /. (nf *. (nf -. 1.))))
+    in
+    if var <= 0. then 0. else (u -. mu) /. sqrt var
+  end
+
+let rel_shift ~exact ~relaxed =
+  let me = mean exact in
+  if me = 0. then if mean relaxed = 0. then 0. else Float.infinity
+  else Float.abs (mean relaxed -. me) /. Float.abs me
+
+(* Gate one metric's sample pair into findings compatible with the exact
+   and perf gates, so `simbench equiv` renders through Gate.render. *)
+let compare_samples ?(tolerance = default_tolerance) ~id s =
+  let shift = rel_shift ~exact:s.exact ~relaxed:s.relaxed in
+  let z = mann_whitney_z s.exact s.relaxed in
+  [
+    {
+      Gate.id;
+      metric = s.metric ^ "/mean";
+      ok = shift <= tolerance.max_rel_mean_shift;
+      detail =
+        Printf.sprintf "exact mean %.4g, relaxed mean %.4g: shift %.2f%% (allowed %.2f%%)"
+          (mean s.exact) (mean s.relaxed) (shift *. 100.)
+          (tolerance.max_rel_mean_shift *. 100.);
+    };
+    {
+      Gate.id;
+      metric = s.metric ^ "/rank";
+      ok = Float.abs z <= tolerance.max_abs_z;
+      detail =
+        Printf.sprintf "Mann-Whitney z = %+.3f over %d vs %d seeds (|z| allowed %.3f)" z
+          (List.length s.exact) (List.length s.relaxed) tolerance.max_abs_z;
+    };
+  ]
+
+let compare_all ?tolerance ~id samples =
+  List.concat_map (compare_samples ?tolerance ~id) samples
+
+(* ------------------------------------------------------------------ *)
+(* Blessed relaxed baselines: regress/baselines/relaxed-<id>.json.     *)
+(* The file pins the epsilon the equivalence was established at and    *)
+(* records both sample sets; a later check at the same epsilon/seeds   *)
+(* can both re-gate fresh samples and detect drift from the blessing.  *)
+(* ------------------------------------------------------------------ *)
+
+type blessed = {
+  id : string;
+  epsilon : int;
+  seeds : int list;
+  tolerance : tolerance;
+  samples : samples list;
+}
+
+let schema_version = 1
+
+let floats_to_json xs = Json.List (List.map (fun v -> Json.Float v) xs)
+let floats_of_json j = List.map Json.to_float (Json.to_list j)
+
+let to_json b =
+  Json.Assoc
+    [
+      ("schema_version", Json.Int schema_version);
+      ("id", Json.String b.id);
+      ("epsilon", Json.Int b.epsilon);
+      ("seeds", Json.List (List.map (fun s -> Json.Int s) b.seeds));
+      ( "tolerance",
+        Json.Assoc
+          [
+            ("max_rel_mean_shift", Json.Float b.tolerance.max_rel_mean_shift);
+            ("max_abs_z", Json.Float b.tolerance.max_abs_z);
+          ] );
+      ( "samples",
+        Json.List
+          (List.map
+             (fun s ->
+               Json.Assoc
+                 [
+                   ("metric", Json.String s.metric);
+                   ("exact", floats_to_json s.exact);
+                   ("relaxed", floats_to_json s.relaxed);
+                 ])
+             b.samples) );
+    ]
+
+let of_json j =
+  try
+    (match Json.member "schema_version" j with
+    | Json.Int v when v = schema_version -> ()
+    | Json.Int v ->
+        failwith
+          (Printf.sprintf "schema_version %d does not match supported version %d (re-bless?)"
+             v schema_version)
+    | _ -> failwith "missing schema_version");
+    let tol = Json.member "tolerance" j in
+    Ok
+      {
+        id = Json.to_string (Json.member "id" j);
+        epsilon = Json.to_int (Json.member "epsilon" j);
+        seeds = List.map Json.to_int (Json.to_list (Json.member "seeds" j));
+        tolerance =
+          {
+            max_rel_mean_shift = Json.to_float (Json.member "max_rel_mean_shift" tol);
+            max_abs_z = Json.to_float (Json.member "max_abs_z" tol);
+          };
+        samples =
+          List.map
+            (fun s ->
+              {
+                metric = Json.to_string (Json.member "metric" s);
+                exact = floats_of_json (Json.member "exact" s);
+                relaxed = floats_of_json (Json.member "relaxed" s);
+              })
+            (Json.to_list (Json.member "samples" j));
+      }
+  with
+  | Failure msg -> Error msg
+  | Json.Type_error msg -> Error msg
+
+let path ~dir id = Filename.concat dir ("relaxed-" ^ id ^ ".json")
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+let save ~dir b =
+  mkdir_p dir;
+  Out_channel.with_open_bin (path ~dir b.id) (fun oc ->
+      Out_channel.output_string oc (Json.render (to_json b)))
+
+let load ~dir id =
+  let file = path ~dir id in
+  match In_channel.with_open_bin file In_channel.input_all with
+  | exception Sys_error _ ->
+      Error
+        (Printf.sprintf "%s: missing relaxed baseline (run `simbench equiv --bless` to create it)"
+           file)
+  | contents -> (
+      match Json.parse contents with
+      | Error msg -> Error (Printf.sprintf "%s: %s" file msg)
+      | Ok j -> (
+          match of_json j with
+          | Ok b when b.id <> id ->
+              Error (Printf.sprintf "%s: baseline id %S does not match file" file b.id)
+          | Ok b -> Ok b
+          | Error msg -> Error (Printf.sprintf "%s: %s" file msg)))

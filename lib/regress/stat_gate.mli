@@ -1,0 +1,63 @@
+(** Statistical-equivalence gate for epsilon-relaxed dispatch.
+
+    Relaxed dispatch ([Sched] epsilon > 0) is digest-distinct from the
+    exact tournament merge, so it cannot be byte-compared against the
+    golden baselines. Its contract is distributional instead: over K
+    seeds, the relaxed run must be statistically indistinguishable from
+    the exact run on the headline metrics (throughput, peak epoch
+    garbage, free-call tail latency). Each metric passes two tests — a
+    bounded relative mean shift, and a Mann-Whitney rank test whose |z|
+    must stay below the 99% two-sided critical value. *)
+
+type samples = {
+  metric : string;
+  exact : float list;  (** one value per seed, exact dispatch *)
+  relaxed : float list;  (** same seeds, relaxed dispatch *)
+}
+
+type tolerance = {
+  max_rel_mean_shift : float;  (** |mean shift| / exact mean allowed *)
+  max_abs_z : float;  (** Mann-Whitney |z| allowed *)
+}
+
+val default_tolerance : tolerance
+(** 5% mean shift, |z| <= 2.576 (99% two-sided). *)
+
+val mean : float list -> float
+
+val mann_whitney_z : float list -> float list -> float
+(** Normal-approximation Mann-Whitney z for sample 1 vs sample 2, with
+    mid-ranks and the standard tie correction. [0.] when either sample is
+    empty or every pooled value ties. *)
+
+val rel_shift : exact:float list -> relaxed:float list -> float
+(** |mean relaxed - mean exact| / |mean exact| ([infinity] when the exact
+    mean is zero and the relaxed one is not). *)
+
+val compare_samples : ?tolerance:tolerance -> id:string -> samples -> Gate.finding list
+(** Two findings ("<metric>/mean" and "<metric>/rank"), renderable via
+    {!Gate.render}. *)
+
+val compare_all : ?tolerance:tolerance -> id:string -> samples list -> Gate.finding list
+
+(** {1 Blessed relaxed baselines}
+
+    [regress/baselines/relaxed-<id>.json]: pins the epsilon the
+    equivalence was established at and records both sample sets, so a
+    later check can re-gate fresh samples at the same pinned epsilon and
+    detect drift from the blessing. *)
+
+type blessed = {
+  id : string;
+  epsilon : int;  (** pinned relaxation window, virtual ns *)
+  seeds : int list;
+  tolerance : tolerance;
+  samples : samples list;
+}
+
+val schema_version : int
+val to_json : blessed -> Json.t
+val of_json : Json.t -> (blessed, string) result
+val path : dir:string -> string -> string
+val save : dir:string -> blessed -> unit
+val load : dir:string -> string -> (blessed, string) result

@@ -48,6 +48,13 @@ type t = {
          [Sched.default_shards] (the EPOCHS_SHARDS env var, else 1).
          Every shard count produces byte-identical canonical results, so
          like [event_queue] this never appears in manifests. *)
+  epsilon : int option;
+      (* relaxed-dispatch window, virtual ns; [None] defers to
+         [Sched.default_epsilon] (the EPOCHS_EPSILON env var, else 0 =
+         exact). Relaxed results are digest-DISTINCT and gated
+         statistically (simbench equiv), never byte-compared, so this is
+         run infrastructure like [shards] and never appears in manifests —
+         a blessed baseline must pin its epsilon out of band. *)
 }
 
 let default =
@@ -77,6 +84,7 @@ let default =
     cost = Cost_model.default;
     event_queue = None;
     shards = None;
+    epsilon = None;
   }
 
 let label cfg =

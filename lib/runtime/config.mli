@@ -43,6 +43,11 @@ type t = {
       (** per-socket event-loop shard count; [None] defers to
           {!Simcore.Sched.default_shards}. Byte-identical results at any
           shard count, so not manifest-expressible either *)
+  epsilon : int option;
+      (** relaxed-dispatch window, virtual ns; [None] defers to
+          {!Simcore.Sched.default_epsilon} (0 = exact). Relaxed results
+          are digest-distinct and gated statistically, so this is run
+          infrastructure, never manifest-expressible *)
 }
 
 val default : t

@@ -82,6 +82,9 @@ let[@inline] head_key t =
 let[@inline] head_seq t =
   match t with H h -> Heap.head_seq h | W w -> Wheel.head_seq w
 
+let[@inline] head_task t =
+  match t with H h -> Heap.head_task h | W w -> Wheel.head_task w
+
 (* First-class-module view of the two implementations, for tests and
    benchmarks that want to run the same scenario against each directly. *)
 module type S = sig
@@ -98,6 +101,7 @@ module type S = sig
   val has_le : 'a q -> bound:int -> bool
   val head_key : 'a q -> int
   val head_seq : 'a q -> int
+  val head_task : 'a q -> 'a
 end
 
 module Heap_impl : S = struct
@@ -114,6 +118,7 @@ module Heap_impl : S = struct
   let has_le = Heap.has_le
   let head_key = Heap.head_key
   let head_seq = Heap.head_seq
+  let head_task = Heap.head_task
 end
 
 module Wheel_impl : S = struct
@@ -130,4 +135,5 @@ module Wheel_impl : S = struct
   let has_le = Wheel.has_le
   let head_key = Wheel.head_key
   let head_seq = Wheel.head_seq
+  let head_task = Wheel.head_task
 end

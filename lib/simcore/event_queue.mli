@@ -57,6 +57,11 @@ val head_seq : 'a t -> int
     Read it immediately after {!head_key}: the pair is the queue's head
     in the scheduler's total [(key, seq)] order. *)
 
+val head_task : 'a t -> 'a
+(** The minimal element's payload without removal, or the dummy sentinel
+    when empty (compare physically). Same validity contract as
+    {!head_seq}: read it immediately after {!head_key}. *)
+
 (** Common signature over the two implementations, for tests/benchmarks
     driving each directly. *)
 module type S = sig
@@ -73,6 +78,7 @@ module type S = sig
   val has_le : 'a q -> bound:int -> bool
   val head_key : 'a q -> int
   val head_seq : 'a q -> int
+  val head_task : 'a q -> 'a
 end
 
 module Heap_impl : S

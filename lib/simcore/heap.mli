@@ -51,3 +51,8 @@ val head_seq : 'a t -> int
 (** The minimum element's tie-break sequence, or [max_int] when empty.
     Meaningful together with {!head_key}: the pair is the heap's head in
     the scheduler's total [(key, seq)] order. *)
+
+val head_task : 'a t -> 'a
+(** The minimum element's payload without removal, or the dummy sentinel
+    when empty (compare physically). Same validity contract as
+    {!head_seq}. *)

@@ -1,0 +1,130 @@
+(* The shard tournament-merge decision kernel.
+
+   This is the policy layer of the sharded dispatch loop, extracted from
+   [Sched] so that tests (including the QCheck merge properties and the
+   stale-bound regression) can drive it against bare event queues, without
+   threads or effects. The state is the current window:
+
+   - [cur] is the shard being drained ([-1] before the first {!select});
+   - [(cur_key, cur_seq)] is the winner's head at selection time;
+   - [(bound_key, bound_seq)] is the window bound — the minimal head over
+     the *other* shards, [(max_int, max_int)] when they are all empty —
+     and [bound_shard] records which shard holds it ([-1] when none).
+
+   Exactness: {!select} picks the globally minimal (key, seq) head — the
+   event the unsharded loop would pop — and {!exact_ok} lets the winner
+   drain while its head stays lexicographically below the bound. A push
+   into another shard during the window either lands at or above the bound
+   (the next scan sees it) or lowers the cached bound via {!note_push};
+   push keys are >= the pushing thread's clock >= the merge cursor, so
+   nothing lands behind the cursor. Hence exact mode pops precisely the
+   global order.
+
+   Staleness: the cached bound can only go stale when the bound shard's
+   head *rises* — impossible inside [Sched], whose loop pops only from the
+   winner, but reachable when a harness drains a non-current shard
+   externally. A stale bound is conservative for exact mode (it is lower
+   than the true runner-up, so the window just ends early), but a relaxed
+   ([epsilon]-window) grant computed against it would be measured from the
+   wrong origin — and the naive refresh of "bound shard empty => bound :=
+   max_int" would dispatch past the *other* shards' heads. {!revalidate}
+   recomputes the true runner-up over all non-current shards; relaxed
+   grants must run behind it. *)
+
+type t = {
+  mutable cur : int;
+  mutable cur_key : int;
+  mutable cur_seq : int;
+  mutable bound_key : int;
+  mutable bound_seq : int;
+  mutable bound_shard : int;
+}
+
+(* [cur = 0] so that the unsharded scheduler's push path ([note_push] with
+   [shard = 0]) is one dead compare, exactly as before extraction. *)
+let create () =
+  {
+    cur = 0;
+    cur_key = max_int;
+    cur_seq = max_int;
+    bound_key = max_int;
+    bound_seq = max_int;
+    bound_shard = -1;
+  }
+
+(* Window-opening scan: [cur] = minimal (key, seq) head, bound = runner-up.
+   An empty shard reports [max_int] and is skipped. Returns [cur], or [-1]
+   when every shard is empty. *)
+let select m queues =
+  m.cur <- -1;
+  m.cur_key <- max_int;
+  m.cur_seq <- max_int;
+  m.bound_key <- max_int;
+  m.bound_seq <- max_int;
+  m.bound_shard <- -1;
+  for i = 0 to Array.length queues - 1 do
+    let q = Array.unsafe_get queues i in
+    let k = Event_queue.head_key q in
+    if k <> max_int then begin
+      let sq = Event_queue.head_seq q in
+      if k < m.cur_key || (k = m.cur_key && sq < m.cur_seq) then begin
+        m.bound_key <- m.cur_key;
+        m.bound_seq <- m.cur_seq;
+        m.bound_shard <- m.cur;
+        m.cur <- i;
+        m.cur_key <- k;
+        m.cur_seq <- sq
+      end
+      else if k < m.bound_key || (k = m.bound_key && sq < m.bound_seq) then begin
+        m.bound_key <- k;
+        m.bound_seq <- sq;
+        m.bound_shard <- i
+      end
+    end
+  done;
+  m.cur
+
+(* A push into a non-current shard is a head candidate the window-opening
+   scan did not see: it can only *lower* the bound (seqs grow, so a later
+   push wins only on key). *)
+let[@inline] note_push m ~shard ~key ~seq =
+  if shard <> m.cur && key < m.bound_key then begin
+    m.bound_key <- key;
+    m.bound_seq <- seq;
+    m.bound_shard <- shard
+  end
+
+(* The exact-merge drain predicate: the head may pop while it is
+   lexicographically below the bound. *)
+let[@inline] exact_ok m ~key ~seq =
+  key < m.bound_key || (key = m.bound_key && seq < m.bound_seq)
+
+(* Recompute the runner-up over all non-current shards (the stale-bound
+   fix): called before any relaxed grant, and by harnesses after draining
+   a non-current shard externally. Inside [Sched] this is an identity
+   (non-current heads never rise there). *)
+let revalidate m queues =
+  m.bound_key <- max_int;
+  m.bound_seq <- max_int;
+  m.bound_shard <- -1;
+  for i = 0 to Array.length queues - 1 do
+    if i <> m.cur then begin
+      let q = Array.unsafe_get queues i in
+      let k = Event_queue.head_key q in
+      if
+        k <> max_int
+        && (k < m.bound_key || (k = m.bound_key && Event_queue.head_seq q < m.bound_seq))
+      then begin
+        m.bound_key <- k;
+        m.bound_seq <- Event_queue.head_seq q;
+        m.bound_shard <- i
+      end
+    end
+  done
+
+(* The relaxed-window arithmetic: how far past the bound a grant at [key]
+   would run. Only meaningful when {!exact_ok} is false (then
+   [bound_key <= key < max_int], so the subtraction cannot overflow). *)
+let[@inline] skew m ~key = key - m.bound_key
+
+let[@inline] within m ~key ~epsilon = epsilon > 0 && key - m.bound_key <= epsilon

@@ -1,0 +1,48 @@
+(** The shard tournament-merge decision kernel, extracted from {!Sched} so
+    tests can drive it against bare {!Event_queue} arrays.
+
+    A {e window} is one drain of the shard whose head is the globally
+    minimal [(key, seq)]; the {e bound} is the runner-up head over the
+    other shards, the point at which the window must close (exact mode) or
+    from which run-ahead is measured (relaxed mode). See [merge.ml] for
+    the exactness and staleness arguments. *)
+
+type t = {
+  mutable cur : int;  (** shard being drained; [-1] before/after a window *)
+  mutable cur_key : int;  (** winner's head key at selection *)
+  mutable cur_seq : int;
+  mutable bound_key : int;  (** runner-up head over the other shards *)
+  mutable bound_seq : int;
+  mutable bound_shard : int;  (** shard holding the bound; [-1] when none *)
+}
+
+val create : unit -> t
+
+val select : t -> 'a Event_queue.t array -> int
+(** Open a window: set [cur] to the shard with the minimal [(key, seq)]
+    head — exactly the event an unsharded loop would pop — and the bound
+    to the runner-up. Returns [cur], or [-1] when all shards are empty. *)
+
+val note_push : t -> shard:int -> key:int -> seq:int -> unit
+(** Account for a push during the window: a push into a non-current shard
+    may lower the bound (never raise it). *)
+
+val exact_ok : t -> key:int -> seq:int -> bool
+(** Whether the current shard's head [(key, seq)] may pop under the exact
+    merge: lexicographically below the bound. *)
+
+val revalidate : t -> 'a Event_queue.t array -> unit
+(** Recompute the bound as the true runner-up over all non-current shards.
+    Required after a non-current shard was drained externally (its head
+    rose, so the cached bound is stale) and before any relaxed grant —
+    a grant measured from a stale bound, or against a naive
+    "empty shard => [max_int]" refresh, could dispatch past another
+    shard's head. *)
+
+val skew : t -> key:int -> int
+(** [key - bound_key]: how far past the bound a grant at [key] runs.
+    Meaningful only when {!exact_ok} is false. *)
+
+val within : t -> key:int -> epsilon:int -> bool
+(** Whether a grant at [key] stays within the relaxed window:
+    [epsilon > 0 && skew <= epsilon]. *)

@@ -30,6 +30,9 @@ type t = {
   mutable yields : int;  (* checkpoint yields actually performed *)
   mutable elided_yields : int;  (* checkpoint yields skipped (thread stayed minimal) *)
   mutable shard_syncs : int;  (* sharded dispatch: resumptions that crossed a shard boundary *)
+  mutable epsilon_windows : int;  (* relaxed dispatch: grants made only by the epsilon window *)
+  mutable epsilon_syncs : int;  (* relaxed dispatch: hard sync boundaries armed *)
+  mutable max_skew_ns : int;  (* high-water mark of granted run-ahead past the merge bound *)
   mutable hp_scans : int;  (* hazard-pointer retire-list scans *)
   mutable hp_protect_retries : int;  (* protect/validate loops that had to retry *)
   mutable max_retired : int;  (* high-water mark of any per-thread retire list *)
@@ -59,6 +62,9 @@ let create () =
     yields = 0;
     elided_yields = 0;
     shard_syncs = 0;
+    epsilon_windows = 0;
+    epsilon_syncs = 0;
+    max_skew_ns = 0;
     hp_scans = 0;
     hp_protect_retries = 0;
     max_retired = 0;
@@ -102,6 +108,9 @@ let merge into t =
   into.yields <- into.yields + t.yields;
   into.elided_yields <- into.elided_yields + t.elided_yields;
   into.shard_syncs <- into.shard_syncs + t.shard_syncs;
+  into.epsilon_windows <- into.epsilon_windows + t.epsilon_windows;
+  into.epsilon_syncs <- into.epsilon_syncs + t.epsilon_syncs;
+  into.max_skew_ns <- max into.max_skew_ns t.max_skew_ns;
   into.hp_scans <- into.hp_scans + t.hp_scans;
   into.hp_protect_retries <- into.hp_protect_retries + t.hp_protect_retries;
   into.max_retired <- max into.max_retired t.max_retired;
@@ -137,10 +146,13 @@ let diff ~before ~after =
     yields = after.yields - before.yields;
     elided_yields = after.elided_yields - before.elided_yields;
     shard_syncs = after.shard_syncs - before.shard_syncs;
+    epsilon_windows = after.epsilon_windows - before.epsilon_windows;
+    epsilon_syncs = after.epsilon_syncs - before.epsilon_syncs;
     hp_scans = after.hp_scans - before.hp_scans;
     hp_protect_retries = after.hp_protect_retries - before.hp_protect_retries;
     (* A high-water mark cannot be windowed: the [after] value is the whole
        run's maximum, which is the honest upper bound for any window. *)
+    max_skew_ns = after.max_skew_ns;
     max_retired = after.max_retired;
     free_call_hist = after.free_call_hist;
     op_hist = after.op_hist;

@@ -54,6 +54,9 @@ and thread = {
   mutable pending : (unit, unit) Effect.Deep.continuation option;
       (* parked continuation: the thread is either enqueued or suspended *)
   mutable suspended : bool;  (* blocked on [suspend], waiting for [ready] *)
+  mutable sync_required : bool;
+      (* relaxed dispatch: a hard sync boundary was crossed — this thread's
+         next dispatch must be exact-order (no epsilon run-ahead) *)
   mutable resume_task : task;  (* this thread's [Resume], allocated once *)
 }
 
@@ -61,11 +64,13 @@ and t = {
   queues : task Event_queue.t array;
       (* one event queue per shard; length 1 = the classic global loop *)
   n_shards : int;
-  mutable cur_shard : int;  (* shard whose window is being drained *)
-  mutable bound_key : int;
-      (* window bound: minimal head (key, seq) over the *other* shards;
-         (max_int, max_int) when they are all empty *)
-  mutable bound_seq : int;
+  merge : Merge.t;
+      (* tournament-merge window state: current shard + runner-up bound *)
+  epsilon : int;
+      (* relaxed dispatch window, virtual ns; 0 = exact tournament merge *)
+  cursors : int array;
+      (* per-shard merge cursor: last popped key. Only maintained (and only
+         read, by the [enqueue] clamp) when [epsilon > 0]. *)
   mutable pending_sync : bool;
       (* a shard boundary was just crossed; charge the next resumption *)
   mutable seq : int;
@@ -116,20 +121,40 @@ let default_shards () =
           invalid_arg
             (Printf.sprintf "%s: expected a positive shard count, got %S" shards_env_var s))
 
-let create ?(cost = Cost_model.default) ?event_queue ?shards ~topology ~n_threads ~seed () =
+let epsilon_env_var = "EPOCHS_EPSILON"
+
+(* Exact dispatch is the default: epsilon-relaxed runs are digest-distinct
+   and gated statistically (simbench equiv), not byte-compared, so relaxing
+   must be an explicit opt-in ([EPOCHS_EPSILON] / [Config.epsilon] /
+   [--epsilon]). *)
+let default_epsilon () =
+  match Sys.getenv_opt epsilon_env_var with
+  | None | Some "" -> 0
+  | Some s -> (
+      match int_of_string_opt s with
+      | Some n when n >= 0 -> n
+      | Some _ | None ->
+          invalid_arg
+            (Printf.sprintf "%s: expected a non-negative window in virtual ns, got %S"
+               epsilon_env_var s))
+
+let create ?(cost = Cost_model.default) ?event_queue ?shards ?epsilon ~topology ~n_threads
+    ~seed () =
   if n_threads <= 0 then invalid_arg "Sched.create: n_threads must be positive";
   let kind =
     match event_queue with Some k -> k | None -> Event_queue.default_kind ()
   in
   let n_shards = match shards with Some n -> n | None -> default_shards () in
   if n_shards < 1 then invalid_arg "Sched.create: shards must be positive";
+  let epsilon = match epsilon with Some e -> e | None -> default_epsilon () in
+  if epsilon < 0 then invalid_arg "Sched.create: epsilon must be non-negative";
   let sched =
     {
       queues = Array.init n_shards (fun _ -> Event_queue.create ~kind ~dummy:dummy_task);
       n_shards;
-      cur_shard = 0;
-      bound_key = max_int;
-      bound_seq = max_int;
+      merge = Merge.create ();
+      epsilon;
+      cursors = Array.make n_shards 0;
       pending_sync = false;
       seq = 0;
       cost;
@@ -167,6 +192,7 @@ let create ?(cost = Cost_model.default) ?event_queue ?shards ~topology ~n_thread
         next_preempt = quantum_ns + (tid * quantum_ns / n_threads);
         pending = None;
         suspended = false;
+        sync_required = false;
         resume_task = Run ignore;
       }
     in
@@ -180,6 +206,7 @@ let threads t = t.threads
 let thread t i = t.threads.(i)
 let event_queue t = Event_queue.kind t.queues.(0)
 let shards t = t.n_shards
+let epsilon t = t.epsilon
 let cost t = t.cost
 let topology t = t.topology
 let n_threads t = t.n_threads
@@ -191,19 +218,37 @@ let set_tracer t tr =
 let tracer t = t.tracer
 
 let enqueue sched ~shard ~key task =
+  (* Exact mode never needs this clamp: every push key is >= the pushing
+     thread's clock >= the merge cursor (lock handoffs jump the waiter's
+     clock to the release time first). Under epsilon relaxation the current
+     shard's cursor can run *ahead* of another shard's clocks, so a
+     cross-shard handoff can land behind this shard's last popped key —
+     clamp it up to the cursor (the queues' monotone-pop discipline is a
+     hard invariant) and charge the gap to the thread as descheduled time,
+     keeping clock and total_ns in step. The skew charged this way is
+     bounded by epsilon. *)
+  let key =
+    if sched.epsilon > 0 && key < Array.unsafe_get sched.cursors shard then begin
+      let c = Array.unsafe_get sched.cursors shard in
+      (match task with
+      | Resume th ->
+          let d = c - key in
+          th.clock <- th.clock + d;
+          Metrics.add th.metrics ~in_free:th.in_free ~in_flush:th.in_flush Metrics.Idle d;
+          if Tracer.enabled sched.tracer then
+            Tracer.advance_run sched.tracer ~tid:th.tid ~now:th.clock
+      | Run _ -> ());
+      c
+    end
+    else key
+  in
   sched.seq <- sched.seq + 1;
   Event_queue.push (Array.unsafe_get sched.queues shard) ~key ~seq:sched.seq task;
   (* A push into a non-current shard can lower the running window's bound:
      the pushed element is a head candidate the window-opening scan did not
-     see. Seqs only grow, so a later push can win only on key; and every
-     push key is >= the pushing thread's clock (lock handoffs jump the
-     waiter's clock to the release time first), so it is never behind the
-     merge cursor — the exactness argument in [run_sharded]. Unsharded,
-     [shard = cur_shard = 0] and this is one dead compare. *)
-  if shard <> sched.cur_shard && key < sched.bound_key then begin
-    sched.bound_key <- key;
-    sched.bound_seq <- sched.seq
-  end
+     see (the exactness argument in [run_sharded]). Unsharded,
+     [shard = Merge.cur = 0] and this is one dead compare. *)
+  Merge.note_push sched.merge ~shard ~key ~seq:sched.seq
 
 (* Advance [th]'s clock by [ns] of *CPU work*, scaled by the SMT factor and
    attributed to [bucket]. Does not yield. *)
@@ -309,11 +354,18 @@ let checkpoint th =
        performed anyway; schedules and digests of the canonical results
        are bit-identical either way. The yield must still happen when
        stopping or past the hard deadline so the dispatch loop can drop
-       this continuation. *)
+       this continuation.
+
+       Epsilon relaxation moves exactly this line: a thread may stay ahead
+       of the other shards' bound by up to [epsilon] virtual ns before it
+       yields to the merge — unless a sync boundary armed [sync_required],
+       which restores the exact compare. At [epsilon = 0] the predicate
+       reduces to the exact one above, byte for byte. *)
     if
       sched.stopped
       || th.clock > sched.hard_deadline
-      || th.clock >= sched.bound_key
+      || (if sched.epsilon = 0 || th.sync_required then th.clock >= sched.merge.Merge.bound_key
+          else th.clock - sched.merge.Merge.bound_key >= sched.epsilon)
       || Event_queue.has_le (Array.unsafe_get sched.queues th.shard) ~bound:th.clock
     then begin
       th.metrics.Metrics.yields <- th.metrics.Metrics.yields + 1;
@@ -329,6 +381,31 @@ let checkpoint th =
   end
 
 let set_controller sched f = sched.controller <- f
+
+(* -- relaxed-dispatch sync boundaries ------------------------------------ *)
+
+(* Payload codes for the [Epsilon_sync] trace instant. *)
+let sync_kind_lock = 1
+let sync_kind_epoch = 2
+let sync_kind_remote = 3
+
+(* Arm a hard synchronization point under relaxed dispatch: the calling
+   thread's next dispatch must be exact-order (no epsilon run-ahead), so
+   cross-shard causality at lock transfers, epoch advances and remote
+   frees is never built on events a run-ahead shard has not seen yet. The
+   flag is arm-only — no yield is injected here, because boundary calls
+   sit inside protocol code (lock bodies, SMR advance paths) that is not
+   checkpoint-safe; the next checkpoint and the dispatch loop both honour
+   it, and the loop clears it on the thread's next exact-order pop.
+   A no-op (one branch) in exact mode or on an unsharded loop. *)
+let sync_boundary th ~kind =
+  let sched = th.sched in
+  if sched.epsilon > 0 && sched.n_shards > 1 then begin
+    th.sync_required <- true;
+    th.metrics.Metrics.epsilon_syncs <- th.metrics.Metrics.epsilon_syncs + 1;
+    if Tracer.enabled sched.tracer then
+      Tracer.instant sched.tracer Tracer.Epsilon_sync ~tid:th.tid ~ts:th.clock ~a:kind ~b:0
+  end
 
 (* Run [f] as an atomic block: no other simulated thread is interleaved
    (checkpoints are suppressed), modelling a linearizable data structure
@@ -425,76 +502,95 @@ let exec = function
    empties, or the next event is past the hard deadline). The window
    transition is the shard-sync point: the first thread resumption of the
    new window is charged one [shard_syncs] tick and traced as a
-   [Shard_sync] instant. *)
+   [Shard_sync] instant.
+
+   Relaxed mode ([epsilon > 0]) extends the window: when the head fails the
+   exact compare, the bound is revalidated (Merge-layer staleness fix) and
+   the head may still pop while it stays within [epsilon] ns past the
+   bound — unless it is a sync-armed thread (or a one-off [Run] thunk,
+   which is conservatively always exact). Each such grant is charged one
+   [epsilon_windows] tick on the resumed thread, raises its [max_skew_ns]
+   high-water mark, and is traced as an [Epsilon_window] instant. At
+   [epsilon = 0] every added branch is behind an [eps > 0] guard, so the
+   loop is operation-for-operation the exact merge. *)
 let run_sharded sched ~bounded =
   let queues = sched.queues in
-  let ns = Array.length queues in
+  let m = sched.merge in
+  let eps = sched.epsilon in
   sched.pending_sync <- false;
   (* Drain the current window: pop while the local head (key, seq) is
-     below the window bound and within the deadline. *)
+     below the window bound (or within the epsilon window) and within the
+     deadline. *)
   let rec drain q shard =
     let k = Event_queue.head_key q in
     let dl = if bounded then sched.hard_deadline else max_int in
-    if
-      k <= dl
-      && (k < sched.bound_key
-         || (k = sched.bound_key && Event_queue.head_seq q < sched.bound_seq))
-    then begin
-      let t = Event_queue.pop_le_default q ~bound:k in
-      if is_live t then begin
-        (match t with
-        | Resume th when sched.pending_sync ->
-            th.metrics.Metrics.shard_syncs <- th.metrics.Metrics.shard_syncs + 1;
-            if Tracer.enabled sched.tracer then
-              Tracer.instant sched.tracer Tracer.Shard_sync ~tid:th.tid ~ts:th.clock
-                ~a:shard ~b:0;
-            sched.pending_sync <- false
-        | Resume _ | Run _ -> ());
-        exec t;
-        drain q shard
+    if k <= dl then begin
+      let sq = Event_queue.head_seq q in
+      let exact =
+        Merge.exact_ok m ~key:k ~seq:sq
+        || (eps > 0
+           && begin
+                Merge.revalidate m queues;
+                Merge.exact_ok m ~key:k ~seq:sq
+              end)
+      in
+      let relaxed =
+        (not exact)
+        && Merge.within m ~key:k ~epsilon:eps
+        &&
+        match Event_queue.head_task q with
+        | Resume th -> not th.sync_required
+        | Run _ -> false
+      in
+      if exact || relaxed then begin
+        let t = Event_queue.pop_le_default q ~bound:k in
+        if is_live t then begin
+          if eps > 0 then begin
+            Array.unsafe_set sched.cursors shard k;
+            match t with
+            | Resume th ->
+                if relaxed then begin
+                  let skew = Merge.skew m ~key:k in
+                  th.metrics.Metrics.epsilon_windows <-
+                    th.metrics.Metrics.epsilon_windows + 1;
+                  if skew > th.metrics.Metrics.max_skew_ns then
+                    th.metrics.Metrics.max_skew_ns <- skew;
+                  if Tracer.enabled sched.tracer then
+                    Tracer.instant sched.tracer Tracer.Epsilon_window ~tid:th.tid ~ts:k
+                      ~a:skew ~b:shard
+                end
+                else th.sync_required <- false
+            | Run _ -> ()
+          end;
+          (match t with
+          | Resume th when sched.pending_sync ->
+              th.metrics.Metrics.shard_syncs <- th.metrics.Metrics.shard_syncs + 1;
+              if Tracer.enabled sched.tracer then
+                Tracer.instant sched.tracer Tracer.Shard_sync ~tid:th.tid ~ts:th.clock
+                  ~a:shard ~b:0;
+              sched.pending_sync <- false
+          | Resume _ | Run _ -> ());
+          exec t;
+          drain q shard
+        end
       end
     end
   in
-  (* Window-opening scan: best = minimal (key, seq) head, (b2k, b2s) =
-     runner-up. An empty shard reports [max_int] and is skipped. *)
-  let rec select ~first =
-    let best = ref (-1) in
-    let bk = ref max_int and bs = ref max_int in
-    let b2k = ref max_int and b2s = ref max_int in
-    for i = 0 to ns - 1 do
-      let q = Array.unsafe_get queues i in
-      let k = Event_queue.head_key q in
-      if k <> max_int then begin
-        let sq = Event_queue.head_seq q in
-        if k < !bk || (k = !bk && sq < !bs) then begin
-          b2k := !bk;
-          b2s := !bs;
-          best := i;
-          bk := k;
-          bs := sq
-        end
-        else if k < !b2k || (k = !b2k && sq < !b2s) then begin
-          b2k := k;
-          b2s := sq
-        end
-      end
-    done;
-    if !best >= 0 then begin
-      if bounded && !bk > sched.hard_deadline then
+  let rec windows ~first =
+    let best = Merge.select m queues in
+    if best >= 0 then begin
+      if bounded && m.Merge.cur_key > sched.hard_deadline then
         (* Only events beyond the deadline remain anywhere: abandon them,
            exactly like the global bounded loop. *)
         sched.stopped <- true
       else begin
         if not first then sched.pending_sync <- true;
-        sched.cur_shard <- !best;
-        sched.bound_key <- !b2k;
-        sched.bound_seq <- !b2s;
-        drain (Array.unsafe_get queues !best) !best;
-        select ~first:false
+        drain (Array.unsafe_get queues best) best;
+        windows ~first:false
       end
     end
   in
-  select ~first:true
+  windows ~first:true
 
 (* Run until no runnable thread remains. Threads still suspended on a lock
    when the queue drains are abandoned (their continuations are dropped),

@@ -47,6 +47,9 @@ and thread = {
   mutable pending : (unit, unit) Effect.Deep.continuation option;
       (** parked continuation while enqueued or suspended *)
   mutable suspended : bool;  (** blocked on {!suspend}, waiting for {!ready} *)
+  mutable sync_required : bool;
+      (** relaxed dispatch only: a hard sync boundary was crossed, so this
+          thread's next dispatch must be exact-order (see {!sync_boundary}) *)
   mutable resume_task : task;  (** this thread's resume cell, allocated once *)
 }
 
@@ -60,10 +63,20 @@ val default_shards : unit -> int
     event loop) when unset/empty.
     @raise Invalid_argument when the variable is not a positive integer. *)
 
+val epsilon_env_var : string
+(** ["EPOCHS_EPSILON"]. *)
+
+val default_epsilon : unit -> int
+(** The relaxed-dispatch window (virtual ns) named by [EPOCHS_EPSILON], or
+    [0] (exact dispatch) when unset/empty.
+    @raise Invalid_argument when the variable is not a non-negative
+    integer. *)
+
 val create :
   ?cost:Cost_model.t ->
   ?event_queue:Event_queue.kind ->
   ?shards:int ->
+  ?epsilon:int ->
   topology:Topology.t ->
   n_threads:int ->
   seed:int ->
@@ -85,7 +98,16 @@ val create :
     [EPOCHS_SHARDS] says otherwise). Any shard count produces runs whose
     canonical results are byte-identical to [shards:1] — shards beyond the
     sockets in use simply stay empty and are skipped by the merge.
-    @raise Invalid_argument when [shards < 1] or [n_threads <= 0]. *)
+
+    [epsilon] relaxes the merge: each shard may run ahead of the other
+    shards' minimal head by up to [epsilon] virtual ns before yielding to
+    the tournament, synchronizing hard at the boundaries marked by
+    {!sync_boundary}. The default comes from {!default_epsilon} ([0] =
+    exact dispatch, preserving every pinned digest). Relaxed runs are
+    digest-{e distinct}; their validity gate is statistical
+    ([simbench equiv]), not byte comparison.
+    @raise Invalid_argument when [shards < 1], [epsilon < 0] or
+    [n_threads <= 0]. *)
 
 val threads : t -> thread array
 val thread : t -> int -> thread
@@ -96,6 +118,9 @@ val event_queue : t -> Event_queue.kind
 val shards : t -> int
 (** How many event-loop shards this scheduler dispatches over (1 = the
     classic global loop). *)
+
+val epsilon : t -> int
+(** The relaxed-dispatch window in virtual ns (0 = exact dispatch). *)
 
 val cost : t -> Cost_model.t
 val topology : t -> Topology.t
@@ -151,6 +176,26 @@ val atomic_exit : thread -> unit
 (** Bracket form of {!atomically} for hot loops where the thunk would be a
     fresh closure per call. Callers must guarantee [atomic_exit] runs on
     every path out of the block, including exceptional ones. *)
+
+val sync_kind_lock : int
+val sync_kind_epoch : int
+
+val sync_kind_remote : int
+(** Payload codes carried by the [Epsilon_sync] trace instant: lock
+    acquire/handoff, epoch advance, remote free/flush. *)
+
+val sync_boundary : thread -> kind:int -> unit
+(** Arm a hard synchronization point under relaxed dispatch: the calling
+    thread's next dispatch must be exact-order (no epsilon run-ahead).
+    Called at lock acquires and cross-shard lock handoffs ({!Sim_mutex}),
+    epoch advances (the SMR cores) and remote frees/flushes into another
+    thread's home (the allocator models) — the events whose cross-shard
+    causality the relaxation must never reorder. Arm-only: no yield is
+    injected (boundary sites sit inside non-checkpoint-safe protocol
+    code); the next checkpoint and the dispatch loop honour the flag, and
+    the loop clears it on the thread's next exact-order dispatch. Counted
+    in [epsilon_syncs] and traced as [Epsilon_sync] with [a = kind]. A
+    branch-only no-op in exact mode or on an unsharded loop. *)
 
 val suspend : thread -> unit
 (** Block until {!ready}. *)

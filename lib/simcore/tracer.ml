@@ -51,6 +51,10 @@ type kind =
   | Hp_protect  (* instant: a hazard-pointer protect loop retried; a = retries *)
   | Hp_scan  (* span: one hazard-pointer retire-list scan; a = objects freed,
                 b = retire-list length at scan entry *)
+  | Epsilon_window  (* instant: relaxed dispatch granted an event past the exact
+                       bound; a = skew ns past the bound, b = shard index *)
+  | Epsilon_sync  (* instant: a hard sync boundary armed under relaxed dispatch;
+                     a = boundary kind (1 lock, 2 epoch advance, 3 remote free) *)
 
 let code = function
   | Run -> 0
@@ -76,6 +80,8 @@ let code = function
   | Shard_sync -> 20
   | Hp_protect -> 21
   | Hp_scan -> 22
+  | Epsilon_window -> 23
+  | Epsilon_sync -> 24
 
 let of_code = function
   | 0 -> Run
@@ -101,6 +107,8 @@ let of_code = function
   | 20 -> Shard_sync
   | 21 -> Hp_protect
   | 22 -> Hp_scan
+  | 23 -> Epsilon_window
+  | 24 -> Epsilon_sync
   | _ -> invalid_arg "Tracer.of_code: unknown kind"
 
 let kind_name = function
@@ -127,6 +135,8 @@ let kind_name = function
   | Shard_sync -> "shard_sync"
   | Hp_protect -> "hp_protect"
   | Hp_scan -> "hp_scan"
+  | Epsilon_window -> "epsilon_window"
+  | Epsilon_sync -> "epsilon_sync"
 
 type t = {
   enabled : bool;

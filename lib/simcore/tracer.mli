@@ -44,7 +44,13 @@
       to retry, [a] = retries charged (the [hp_protect_retries] counter).
       [Hp_scan]: span of one hazard-pointer retire-list scan (the
       [hp_scans] counter), [a] = objects found reclaimable, [b] =
-      retire-list length at scan entry. *)
+      retire-list length at scan entry.
+    - [Epsilon_window]: instant when relaxed dispatch granted an event past
+      the exact merge bound (the [epsilon_windows] counter), [a] = skew ns
+      past the bound (its maximum is [max_skew_ns]), [b] = shard index.
+      [Epsilon_sync]: instant when a hard sync boundary was armed under
+      relaxed dispatch (the [epsilon_syncs] counter), [a] = boundary kind
+      (1 lock acquire/handoff, 2 epoch advance, 3 remote free/flush). *)
 type kind =
   | Run
   | Stall
@@ -69,6 +75,8 @@ type kind =
   | Shard_sync
   | Hp_protect
   | Hp_scan
+  | Epsilon_window
+  | Epsilon_sync
 
 val code : kind -> int
 val of_code : int -> kind

@@ -440,6 +440,7 @@ let head_key t =
   end
 
 let head_seq t = if t.st_len = 0 then max_int else t.st_seqs.(0)
+let head_task t = if t.st_len = 0 then t.dummy else t.st_data.(0)
 
 (* Conservative emptiness-below-bound test for the scheduler's checkpoint
    fast path. Exact when the staging window is non-empty (staging holds the

@@ -72,3 +72,7 @@ val head_seq : 'a t -> int
     staged. Meaningful immediately after {!head_key} returned a
     non-[max_int] key: the pair is the wheel's head in the scheduler's
     total [(key, seq)] order. *)
+
+val head_task : 'a t -> 'a
+(** The staged minimum's payload, or the dummy sentinel when nothing is
+    staged (compare physically). Same validity contract as {!head_seq}. *)

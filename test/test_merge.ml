@@ -1,0 +1,234 @@
+(* The tournament-merge decision kernel, driven directly against bare
+   event queues — no threads, no effects. Covers the stale-bound
+   regression (a harness drains a non-current shard externally; the merge
+   must revalidate rather than trust the cached runner-up) and the QCheck
+   merge properties: an exact drain reproduces the unsharded heap oracle,
+   and a relaxed drain never runs more than epsilon past any other
+   shard's head, never reorders same-shard events, and dispatches
+   sync-marked events only in exact global position. *)
+
+open Simcore
+
+type ev = { shard : int; key : int; seq : int; sync : bool }
+
+let dummy = { shard = -1; key = -1; seq = -1; sync = false }
+
+(* Number the events and distribute them to per-shard queues. Seq order is
+   push order, exactly as in the scheduler. *)
+let make_queues ~n_shards events =
+  let queues =
+    Array.init n_shards (fun _ -> Event_queue.create ~kind:Event_queue.Heap ~dummy)
+  in
+  List.iteri
+    (fun seq e ->
+      Event_queue.push queues.(e.shard) ~key:e.key ~seq { e with seq })
+    events;
+  queues
+
+(* The unsharded oracle: everything through one queue, popped dry. *)
+let oracle events =
+  let q = Event_queue.create ~kind:Event_queue.Heap ~dummy in
+  List.iteri (fun seq e -> Event_queue.push q ~key:e.key ~seq { e with seq }) events;
+  let out = ref [] in
+  let rec go () =
+    match Event_queue.pop q with
+    | None -> ()
+    | Some e ->
+        out := e :: !out;
+        go ()
+  in
+  go ();
+  List.rev !out
+
+(* Drain through the merge kernel the way [Sched.run_sharded] does: open a
+   window on the globally minimal head, pop while the exact predicate
+   holds; under [epsilon] relaxation, a failed exact check revalidates the
+   bound and may still grant a non-sync head within the window. Returns
+   the pop order. The winner's head is strictly below the bound (seqs are
+   unique), so every window pops at least one event and the loop
+   terminates. *)
+let drain ?(epsilon = 0) queues =
+  let m = Merge.create () in
+  let out = ref [] in
+  let continue_ = ref true in
+  while !continue_ do
+    match Merge.select m queues with
+    | -1 -> continue_ := false
+    | cur ->
+        let q = queues.(cur) in
+        let draining = ref true in
+        while !draining do
+          let k = Event_queue.head_key q in
+          if k = max_int then draining := false
+          else begin
+            let sq = Event_queue.head_seq q in
+            let head = Event_queue.head_task q in
+            let exact =
+              Merge.exact_ok m ~key:k ~seq:sq
+              || (epsilon > 0
+                 &&
+                 (Merge.revalidate m queues;
+                  Merge.exact_ok m ~key:k ~seq:sq))
+            in
+            if exact || ((not head.sync) && Merge.within m ~key:k ~epsilon) then begin
+              (* Cross-check the grant against ground truth: the true
+                 runner-up over the other shards, not the cached bound. *)
+              let true_bound = ref max_int in
+              Array.iteri
+                (fun i q' -> if i <> cur then true_bound := min !true_bound (Event_queue.head_key q'))
+                queues;
+              if !true_bound <> max_int && k - !true_bound > max 0 epsilon then
+                Alcotest.failf "grant at key %d runs %d past the runner-up %d (epsilon %d)" k
+                  (k - !true_bound) !true_bound epsilon;
+              if head.sync && not (Merge.exact_ok m ~key:k ~seq:sq) then
+                Alcotest.failf "sync event (key %d) granted by the relaxed window" k;
+              out := Event_queue.pop_le_default q ~bound:max_int :: !out
+            end
+            else draining := false
+          end
+        done
+  done;
+  List.rev !out
+
+(* -- deterministic regressions ------------------------------------------- *)
+
+let test_select_picks_global_min () =
+  let queues =
+    make_queues ~n_shards:3
+      [
+        { dummy with shard = 1; key = 50 };
+        { dummy with shard = 0; key = 10 };
+        { dummy with shard = 2; key = 30 };
+      ]
+  in
+  let m = Merge.create () in
+  Alcotest.(check int) "winner is the minimal head's shard" 0 (Merge.select m queues);
+  Alcotest.(check int) "bound is the runner-up key" 30 m.Merge.bound_key;
+  Alcotest.(check int) "bound shard recorded" 2 m.Merge.bound_shard;
+  (* Key ties break on seq: push order wins. *)
+  let queues = make_queues ~n_shards:2 [ { dummy with shard = 1; key = 5 }; { dummy with shard = 0; key = 5 } ] in
+  let m = Merge.create () in
+  Alcotest.(check int) "key tie broken by seq" 1 (Merge.select m queues);
+  Alcotest.(check int) "empty array" (-1) (Merge.select m (make_queues ~n_shards:4 []))
+
+let test_note_push_lowers_bound () =
+  let queues =
+    make_queues ~n_shards:2
+      [ { dummy with shard = 0; key = 10 }; { dummy with shard = 1; key = 100 } ]
+  in
+  let m = Merge.create () in
+  ignore (Merge.select m queues);
+  Alcotest.(check int) "initial bound" 100 m.Merge.bound_key;
+  (* A push into the other shard below the bound lowers it... *)
+  Event_queue.push queues.(1) ~key:40 ~seq:17 dummy;
+  Merge.note_push m ~shard:1 ~key:40 ~seq:17;
+  Alcotest.(check int) "cross-shard push lowers the bound" 40 m.Merge.bound_key;
+  (* ...a push into the current shard, or above the bound, does not. *)
+  Merge.note_push m ~shard:0 ~key:5 ~seq:18;
+  Merge.note_push m ~shard:1 ~key:60 ~seq:19;
+  Alcotest.(check int) "same-shard and higher pushes ignored" 40 m.Merge.bound_key
+
+let test_stale_bound_revalidate () =
+  (* The regression: shard 1 holds the cached bound; a harness drains it
+     externally (its head rises, then it empties). The cached bound is now
+     stale — conservative for exact mode, but a relaxed grant measured
+     from it would use the wrong origin, and the naive "bound shard empty
+     => max_int" refresh would dispatch past shard 2's head. [revalidate]
+     must recompute the true runner-up. *)
+  let queues =
+    make_queues ~n_shards:3
+      [
+        { dummy with shard = 0; key = 10 };
+        { dummy with shard = 1; key = 20 };
+        { dummy with shard = 1; key = 25 };
+        { dummy with shard = 2; key = 30 };
+      ]
+  in
+  let m = Merge.create () in
+  Alcotest.(check int) "window opens on shard 0" 0 (Merge.select m queues);
+  Alcotest.(check int) "cached bound is shard 1's head" 20 m.Merge.bound_key;
+  (* External drain of the bound shard. *)
+  ignore (Event_queue.pop queues.(1));
+  ignore (Event_queue.pop queues.(1));
+  Alcotest.(check int) "cached bound is now stale" 20 m.Merge.bound_key;
+  Merge.revalidate m queues;
+  Alcotest.(check int) "revalidated bound is the true runner-up" 30 m.Merge.bound_key;
+  Alcotest.(check int) "revalidated bound shard" 2 m.Merge.bound_shard;
+  (* The revalidated bound gates relaxed grants correctly: key 35 is
+     within a 50ns window of 30; key 10_000 is not (the naive max_int
+     refresh would have granted it). *)
+  Alcotest.(check bool) "grant inside the window" true (Merge.within m ~key:35 ~epsilon:50);
+  Alcotest.(check int) "skew measured from the true bound" 5 (Merge.skew m ~key:35);
+  Alcotest.(check bool) "grant far past the true runner-up denied" false
+    (Merge.within m ~key:10_000 ~epsilon:50);
+  (* With every other shard empty the bound really is infinite. *)
+  ignore (Event_queue.pop queues.(2));
+  Merge.revalidate m queues;
+  Alcotest.(check int) "all-empty bound" max_int m.Merge.bound_key;
+  Alcotest.(check int) "no bound shard" (-1) m.Merge.bound_shard
+
+let test_within_requires_positive_epsilon () =
+  let queues =
+    make_queues ~n_shards:2
+      [ { dummy with shard = 0; key = 10 }; { dummy with shard = 1; key = 20 } ]
+  in
+  let m = Merge.create () in
+  ignore (Merge.select m queues);
+  Alcotest.(check bool) "epsilon 0 grants nothing" false (Merge.within m ~key:20 ~epsilon:0);
+  Alcotest.(check bool) "equal key is zero skew" true (Merge.within m ~key:20 ~epsilon:1)
+
+(* -- QCheck properties ---------------------------------------------------- *)
+
+(* Scripts over n_shards in {2, 3, 7}: a list of (shard, key, sync). *)
+let script_gen =
+  QCheck.Gen.(
+    oneofl [ 2; 3; 7 ] >>= fun n_shards ->
+    list_size (int_range 1 150)
+      (triple (int_bound (n_shards - 1)) (int_bound 500) (map (fun b -> b = 0) (int_bound 7)))
+    >>= fun evs -> return (n_shards, evs))
+
+let script_arb =
+  QCheck.make
+    ~print:(fun (n, evs) -> Printf.sprintf "<%d shards, %d events>" n (List.length evs))
+    script_gen
+
+let events_of (n_shards, evs) =
+  ignore n_shards;
+  List.map (fun (shard, key, sync) -> { shard; key; seq = 0; sync }) evs
+
+let prop_exact_matches_oracle =
+  Helpers.prop ~count:300 "exact merge drain == unsharded heap oracle" script_arb
+    (fun ((n_shards, _) as script) ->
+      let events = events_of script in
+      drain (make_queues ~n_shards events) = oracle events)
+
+let prop_relaxed_window =
+  (* Under relaxation the drain must still dispatch every event exactly
+     once, keep each shard's own events in (key, seq) order, and (checked
+     inside [drain]) never run past the true runner-up by more than
+     epsilon nor grant a sync-marked event out of exact position. *)
+  Helpers.prop ~count:300 "relaxed drain: complete, same-shard ordered, window bounded"
+    QCheck.(pair script_arb (make QCheck.Gen.(int_range 1 200)))
+    (fun ((((n_shards, _) as script), epsilon)) ->
+      let events = events_of script in
+      let out = drain ~epsilon (make_queues ~n_shards events) in
+      let global = oracle events in
+      (* Same event set (the oracle is a permutation witness)... *)
+      List.sort compare out = List.sort compare global
+      (* ...and per-shard subsequences in exact (key, seq) order. *)
+      && List.for_all
+           (fun s ->
+             let sub l = List.filter (fun e -> e.shard = s) l in
+             sub out = sub global)
+           (List.init n_shards (fun i -> i)))
+
+let suite =
+  ( "merge",
+    [
+      Helpers.quick "select_picks_global_min" test_select_picks_global_min;
+      Helpers.quick "note_push_lowers_bound" test_note_push_lowers_bound;
+      Helpers.quick "stale_bound_revalidate" test_stale_bound_revalidate;
+      Helpers.quick "within_requires_positive_epsilon" test_within_requires_positive_epsilon;
+      prop_exact_matches_oracle;
+      prop_relaxed_window;
+    ] )

@@ -184,9 +184,9 @@ let test_oversubscription () =
    amount of work between checkpoints, and we log (tid, clock) at each
    step. The log captures the full dispatch order, so equality across
    shard counts and queue kinds is equality of schedules. *)
-let sharded_log ?event_queue ~shards ~n () =
+let sharded_log ?event_queue ?epsilon ?topology ~shards ~n () =
   let log = ref [] in
-  let sched = Helpers.make_sched ~n ~seed:123 ?event_queue ~shards () in
+  let sched = Helpers.make_sched ~n ~seed:123 ?event_queue ?epsilon ?topology ~shards () in
   Array.iter
     (fun th ->
       Sched.spawn sched th (fun th ->
@@ -282,6 +282,79 @@ let test_empty_shard_terminates () =
   Sched.set_hard_deadline bounded 1_000;
   Sched.run_until bounded
 
+(* -- epsilon-relaxed dispatch -------------------------------------------- *)
+
+let test_epsilon_validation () =
+  Alcotest.check_raises "negative epsilon"
+    (Invalid_argument "Sched.create: epsilon must be non-negative") (fun () ->
+      ignore (Helpers.make_sched ~epsilon:(-1) ()));
+  Alcotest.(check int) "epsilon recorded" 25_000
+    (Sched.epsilon (Helpers.make_sched ~epsilon:25_000 ()));
+  Alcotest.(check int) "default is exact" 0 (Sched.epsilon (Helpers.make_sched ()))
+
+let test_epsilon_zero_invisible () =
+  (* epsilon = 0 must take the exact dispatch path bit-for-bit: the full
+     (tid, clock) log — the dispatch order — is identical to a scheduler
+     built without the epsilon argument at all, sharded or not. *)
+  let _, reference = sharded_log ~shards:4 ~n:192 () in
+  let _, explicit = sharded_log ~epsilon:0 ~shards:4 ~n:192 () in
+  Alcotest.(check bool) "epsilon=0 log identical to default" true (explicit = reference);
+  let _, unsharded = sharded_log ~epsilon:0 ~shards:1 ~n:192 () in
+  let _, unsharded_ref = sharded_log ~shards:1 ~n:192 () in
+  Alcotest.(check bool) "unsharded too" true (unsharded = unsharded_ref)
+
+let test_epsilon_relaxed_run () =
+  (* On the tiny 4-socket machine 8 threads span every socket, so a
+     sharded loop has 4 populated shards and a positive window really
+     grants out-of-order dispatch. The run must still complete every
+     step, keep each thread's clock monotone (logged clocks are
+     per-thread increasing by construction), bound granted skew by
+     epsilon, and count at least one window grant. *)
+  let epsilon = 200 in
+  let sched, log =
+    sharded_log ~epsilon ~topology:Topology.tiny_8t ~shards:4 ~n:8 ()
+  in
+  Alcotest.(check int) "every step dispatched" (8 * 5) (List.length log);
+  let windows =
+    Array.fold_left
+      (fun acc th -> acc + th.Sched.metrics.Metrics.epsilon_windows)
+      0 (Sched.threads sched)
+  in
+  let max_skew =
+    Array.fold_left
+      (fun acc th -> max acc th.Sched.metrics.Metrics.max_skew_ns)
+      0 (Sched.threads sched)
+  in
+  Alcotest.(check bool) "relaxation granted at least one window" true (windows > 0);
+  Alcotest.(check bool) "skew high-water within epsilon" true
+    (max_skew > 0 && max_skew <= epsilon);
+  (* The exact run of the same workload grants nothing. *)
+  let exact, _ = sharded_log ~topology:Topology.tiny_8t ~shards:4 ~n:8 () in
+  let exact_windows =
+    Array.fold_left
+      (fun acc th -> acc + th.Sched.metrics.Metrics.epsilon_windows)
+      0 (Sched.threads exact)
+  in
+  Alcotest.(check int) "exact mode grants no windows" 0 exact_windows
+
+let test_sync_boundary () =
+  (* A sync boundary is a no-op unless relaxed AND sharded; when armed it
+     sets [sync_required] (cleared by the next dispatch) and counts. *)
+  let armed epsilon shards =
+    let sched = Helpers.make_sched ~epsilon ~shards ~topology:Topology.tiny_8t ~n:8 () in
+    let th = Sched.thread sched 0 in
+    let state = ref None in
+    Sched.spawn sched th (fun th ->
+        Sched.sync_boundary th ~kind:1;
+        state := Some (th.Sched.sync_required, th.Sched.metrics.Metrics.epsilon_syncs));
+    Sched.run sched;
+    match !state with Some s -> s | None -> Alcotest.fail "body did not run"
+  in
+  Alcotest.(check (pair bool int)) "armed under relaxed sharded dispatch" (true, 1)
+    (armed 100 4);
+  Alcotest.(check (pair bool int)) "no-op when exact" (false, 0) (armed 0 4);
+  Alcotest.(check (pair bool int)) "no-op when unsharded" (false, 0) (armed 100 1)
+
 let test_shards_validation () =
   Alcotest.check_raises "zero shards" (Invalid_argument "Sched.create: shards must be positive")
     (fun () -> ignore (Helpers.make_sched ~shards:0 ()));
@@ -309,5 +382,9 @@ let suite =
       Helpers.quick "sharded_run_until_identical" test_sharded_run_until_identical;
       Helpers.quick "sharded_yield_counters" test_sharded_yield_counters;
       Helpers.quick "empty_shard_terminates" test_empty_shard_terminates;
+      Helpers.quick "epsilon_validation" test_epsilon_validation;
+      Helpers.quick "epsilon_zero_invisible" test_epsilon_zero_invisible;
+      Helpers.quick "epsilon_relaxed_run" test_epsilon_relaxed_run;
+      Helpers.quick "sync_boundary" test_sync_boundary;
       Helpers.quick "shards_validation" test_shards_validation;
     ] )

@@ -159,6 +159,58 @@ let test_cross_yield_counters () =
         Alcotest.(check bool) "syncs recorded" true (p.Simtrace.Profile.shard_syncs > 0))
     [ 1; 4 ]
 
+(* The epsilon counters follow the same contract: windows, syncs and the
+   skew high-water recomputed from the trace must equal the Metrics
+   counters. The tiny 4-socket machine puts 8 threads across 4 shards, so
+   a positive window really relaxes the merge, and the explicit
+   [sync_boundary] calls really arm. *)
+let test_cross_epsilon_counters () =
+  let epsilon = 200 in
+  let tracer = Tracer.create () in
+  let sched =
+    Helpers.make_sched ~n:8 ~seed:5 ~shards:4 ~epsilon ~topology:Topology.tiny_8t ()
+  in
+  Sched.set_tracer sched tracer;
+  Array.iter
+    (fun th ->
+      Sched.spawn sched th (fun th ->
+          for i = 1 to 20 do
+            Sched.work ~scaled:false th Metrics.Ds (1 + Rng.int_below th.Sched.rng 100);
+            if i mod 5 = 0 then Sched.sync_boundary th ~kind:(1 + (i mod 3));
+            Sched.checkpoint th
+          done))
+    (Sched.threads sched);
+  Sched.run sched;
+  let sum f = Array.fold_left (fun acc th -> acc + f th.Sched.metrics) 0 (Sched.threads sched) in
+  let hi f = Array.fold_left (fun acc th -> max acc (f th.Sched.metrics)) 0 (Sched.threads sched) in
+  let p = Simtrace.Profile.of_tracer tracer in
+  let chk = Alcotest.(check int) in
+  chk "epsilon_windows" (sum (fun m -> m.Metrics.epsilon_windows))
+    p.Simtrace.Profile.epsilon_windows;
+  chk "epsilon_syncs" (sum (fun m -> m.Metrics.epsilon_syncs)) p.Simtrace.Profile.epsilon_syncs;
+  chk "max_skew_ns" (hi (fun m -> m.Metrics.max_skew_ns)) p.Simtrace.Profile.max_skew_ns;
+  Alcotest.(check bool) "windows recorded" true (p.Simtrace.Profile.epsilon_windows > 0);
+  Alcotest.(check bool) "syncs recorded" true (p.Simtrace.Profile.epsilon_syncs > 0);
+  Alcotest.(check bool) "skew within epsilon" true
+    (p.Simtrace.Profile.max_skew_ns > 0 && p.Simtrace.Profile.max_skew_ns <= epsilon);
+  (* An exact run of the same workload must trace no epsilon events. *)
+  let tracer0 = Tracer.create () in
+  let sched0 = Helpers.make_sched ~n:8 ~seed:5 ~shards:4 ~topology:Topology.tiny_8t () in
+  Sched.set_tracer sched0 tracer0;
+  Array.iter
+    (fun th ->
+      Sched.spawn sched0 th (fun th ->
+          for i = 1 to 20 do
+            Sched.work ~scaled:false th Metrics.Ds (1 + Rng.int_below th.Sched.rng 100);
+            if i mod 5 = 0 then Sched.sync_boundary th ~kind:(1 + (i mod 3));
+            Sched.checkpoint th
+          done))
+    (Sched.threads sched0);
+  Sched.run sched0;
+  let p0 = Simtrace.Profile.of_tracer tracer0 in
+  chk "exact mode: no windows" 0 p0.Simtrace.Profile.epsilon_windows;
+  chk "exact mode: no syncs" 0 p0.Simtrace.Profile.epsilon_syncs
+
 (* --- hazard-pointer counters ------------------------------------------ *)
 
 (* The hazard-pointer counters (scans, protect retries) have no Trial
@@ -230,7 +282,8 @@ let all_kinds =
     Tracer.Lock_hold; Tracer.Free_call; Tracer.Flush; Tracer.Overflow; Tracer.Refill;
     Tracer.Remote_free; Tracer.Reclaim; Tracer.Splice; Tracer.Af_drain;
     Tracer.Epoch_advance; Tracer.Epoch_garbage; Tracer.Retire; Tracer.Measure_start;
-    Tracer.Thread_end; Tracer.Yield; Tracer.Shard_sync;
+    Tracer.Thread_end; Tracer.Yield; Tracer.Shard_sync; Tracer.Epsilon_window;
+    Tracer.Epsilon_sync;
   ]
 
 let test_kind_codes_roundtrip () =
@@ -373,6 +426,7 @@ let suite =
       Helpers.quick "trace_digest_jobs" test_trace_digest_jobs;
       Helpers.quick "tracing_is_invisible" test_tracing_is_invisible;
       Helpers.quick "cross_yield_counters" test_cross_yield_counters;
+      Helpers.quick "cross_epsilon_counters" test_cross_epsilon_counters;
       Helpers.quick "cross_hp_counters" test_cross_hp_counters;
       Helpers.quick "sharding_is_invisible" test_sharding_is_invisible;
       Helpers.quick "kind_codes_roundtrip" test_kind_codes_roundtrip;
