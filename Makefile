@@ -1,7 +1,7 @@
 .PHONY: all build test bench bench-quick bench-smoke bench-trajectory bench-diff \
 	bench-diff-gate examples regress regress-exact regress-perf regress-bless \
 	regress-paper regress-bless-paper regress-equiv regress-bless-equiv \
-	sweep-epsilon trace-paper queue-crosscheck shard-crosscheck \
+	sweep-epsilon trace-paper queue-crosscheck shard-crosscheck churn-crosscheck \
 	simcheck-smoke simcheck-selftest trace-smoke fmt fmt-check deps deps-fmt clean
 
 all: build
@@ -141,6 +141,7 @@ trace-paper:
 # jobs=1 vs jobs=2 diff job.
 CROSSCHECK_ENTRIES = ll-ebr-n1,sl-token-n32,occ-ebr-n32,ll-hp-n8
 CROSSCHECK_PAPER_ENTRY = paper-je-ebr-n192
+CROSSCHECK_CHURN_ENTRIES = ll-churn-rolling-n8,sl-churn-resize-n32
 shard-crosscheck:
 	@mkdir -p $(ART)
 	for q in heap wheel; do for s in 1 4; do \
@@ -159,6 +160,15 @@ shard-crosscheck:
 	dune exec bin/simbench.exe -- run --only $(CROSSCHECK_PAPER_ENTRY) \
 		--queue heap --shards 4 --epsilon 0 --out $(ART)/crosscheck-paper-heap-s4-eps0.json \
 		--bench-out $(ART)/crosscheck-paper-heap-s4-eps0-bench.json
+	# Churn rows at epsilon=0: retire/respawn teardown events must survive
+	# the relaxed dispatch path byte-exactly too (lifecycle events are
+	# ordinary scheduler events, never relaxation casualties).
+	dune exec bin/simbench.exe -- run --only $(CROSSCHECK_CHURN_ENTRIES) \
+		--queue heap --shards 1 --out $(ART)/crosscheck-churn-heap-s1.json \
+		--bench-out $(ART)/crosscheck-churn-heap-s1-bench.json
+	dune exec bin/simbench.exe -- run --only $(CROSSCHECK_CHURN_ENTRIES) \
+		--queue heap --shards 4 --epsilon 0 --out $(ART)/crosscheck-churn-heap-s4-eps0.json \
+		--bench-out $(ART)/crosscheck-churn-heap-s4-eps0-bench.json
 	cmp $(ART)/crosscheck-heap-s1.json $(ART)/crosscheck-heap-s4.json
 	cmp $(ART)/crosscheck-heap-s1.json $(ART)/crosscheck-wheel-s1.json
 	cmp $(ART)/crosscheck-heap-s1.json $(ART)/crosscheck-wheel-s4.json
@@ -167,9 +177,28 @@ shard-crosscheck:
 	cmp $(ART)/crosscheck-paper-heap-s1.json $(ART)/crosscheck-paper-wheel-s1.json
 	cmp $(ART)/crosscheck-paper-heap-s1.json $(ART)/crosscheck-paper-wheel-s4.json
 	cmp $(ART)/crosscheck-paper-heap-s1.json $(ART)/crosscheck-paper-heap-s4-eps0.json
+	cmp $(ART)/crosscheck-churn-heap-s1.json $(ART)/crosscheck-churn-heap-s4-eps0.json
 
 # Back-compat alias for the pre-sharding target name.
 queue-crosscheck: shard-crosscheck
+
+# Thread-lifecycle determinism matrix: the heaviest churn entry (32 threads
+# under a rolling restart, retiring and respawning mid-measurement) must
+# produce byte-identical result JSONs across queue {heap, wheel} x shards
+# {1, 4}. Retire/respawn and teardown flushes are ordinary scheduler events,
+# so no host-side execution detail may leak into virtual time through the
+# lifecycle paths.
+CHURN_CROSSCHECK_ENTRY = occ-churn-rolling-n32
+churn-crosscheck:
+	@mkdir -p $(ART)
+	for q in heap wheel; do for s in 1 4; do \
+		dune exec bin/simbench.exe -- run --only $(CHURN_CROSSCHECK_ENTRY) \
+			--queue $$q --shards $$s --out $(ART)/churn-crosscheck-$$q-s$$s.json \
+			--bench-out $(ART)/churn-crosscheck-$$q-s$$s-bench.json || exit 1; \
+	done; done
+	cmp $(ART)/churn-crosscheck-heap-s1.json $(ART)/churn-crosscheck-heap-s4.json
+	cmp $(ART)/churn-crosscheck-heap-s1.json $(ART)/churn-crosscheck-wheel-s1.json
+	cmp $(ART)/churn-crosscheck-heap-s1.json $(ART)/churn-crosscheck-wheel-s4.json
 
 # Shards x epsilon sweep on the paper-scale headline entry: does relaxed
 # dispatch buy host wall-clock at n192, and at what window? Results and

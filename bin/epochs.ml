@@ -106,15 +106,27 @@ let epsilon_arg =
            \\$(b,EPOCHS_EPSILON) when set, else 0 (exact dispatch). Relaxed results are \
            digest-distinct from exact ones and are gated statistically, not byte-compared.")
 
+let churn_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "churn" ] ~docv:"SPEC"
+        ~doc:
+          "Thread-churn plan: $(b,rolling:FIRST_NS:EVERY_NS:DOWN_NS) (rolling restart), \
+           $(b,resize:AT_NS:KEEP:DOWN_NS) (shrink to KEEP threads) or \
+           $(b,failover:AT_NS:SOCKET:DOWN_NS) (lose a socket). Times are virtual ns from \
+           the start of the measured window; DOWN_NS < 0 means never respawn.")
+
 let resolve_jobs = function Some j -> max 1 j | None -> Runtime.Pool.default_jobs ()
 
-let config ?shards ?epsilon ds smr alloc threads machine keys duration trials seed validate
+let config ?shards ?epsilon ?churn ds smr alloc threads machine keys duration trials seed validate
     timeline af_drain zipf =
   let topology =
     match Simcore.Topology.by_name machine with
     | Some t -> t
     | None -> failwith (Printf.sprintf "unknown machine %S" machine)
   in
+  let churn = Option.map Runtime.Config.churn_of_spec churn in
   {
     Runtime.Config.default with
     Runtime.Config.ds;
@@ -134,6 +146,7 @@ let config ?shards ?epsilon ds smr alloc threads machine keys duration trials se
       (match zipf with None -> Runtime.Config.Uniform | Some theta -> Runtime.Config.Zipf theta);
     shards;
     epsilon;
+    churn;
   }
 
 let maybe_write_svg (t : Runtime.Trial.t) = function
@@ -172,6 +185,10 @@ let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
     (Report.Table.count (Simcore.Histogram.max_value t.Runtime.Trial.op_hist));
   Printf.printf "  final size     %d   violations %d\n" t.Runtime.Trial.final_size
     t.Runtime.Trial.violations;
+  if t.Runtime.Trial.thread_retires > 0 || t.Runtime.Trial.thread_spawns > 0 then
+    Printf.printf "  churn          %d retires, %d respawns, %s objects death-flushed\n"
+      t.Runtime.Trial.thread_retires t.Runtime.Trial.thread_spawns
+      (Report.Table.count t.Runtime.Trial.teardown_frees);
   if garbage then begin
     Printf.printf "  garbage by epoch:\n";
     List.iter
@@ -193,7 +210,7 @@ let print_trial (t : Runtime.Trial.t) ~timeline ~garbage =
 
 let run_cmd =
   let run ds smr alloc threads machine keys duration trials seed validate timeline garbage
-      af_drain zipf svg jobs trace trace_capacity shards epsilon =
+      af_drain zipf svg jobs trace trace_capacity shards epsilon churn =
     (match shards with
     | Some n when n < 1 -> failwith (Printf.sprintf "--shards must be at least 1, got %d" n)
     | _ -> ());
@@ -201,8 +218,8 @@ let run_cmd =
     | Some n when n < 0 -> failwith (Printf.sprintf "--epsilon must be non-negative, got %d" n)
     | _ -> ());
     let cfg =
-      config ?shards ?epsilon ds smr alloc threads machine keys duration trials seed validate
-        timeline af_drain zipf
+      config ?shards ?epsilon ?churn ds smr alloc threads machine keys duration trials seed
+        validate timeline af_drain zipf
     in
     let trials =
       match trace with
@@ -238,7 +255,7 @@ let run_cmd =
       const run $ ds_arg $ smr_arg $ alloc_arg $ threads_arg $ machine_arg $ keys_arg
       $ duration_arg $ trials_arg $ seed_arg $ validate_arg $ timeline_arg $ garbage_arg
       $ drain_arg $ zipf_arg $ svg_arg $ jobs_arg $ trace_arg $ trace_capacity_arg
-      $ shards_arg $ epsilon_arg)
+      $ shards_arg $ epsilon_arg $ churn_arg)
 
 let comma_list s = String.split_on_char ',' s |> List.map String.trim
 
@@ -255,7 +272,7 @@ let sweep_cmd =
   let threads_list_arg =
     Arg.(value & opt string "12,24,48,96,144,192" & info [ "threads" ] ~docv:"NS" ~doc:"Comma-separated thread counts.")
   in
-  let run ds smrs alloc threads_list machine keys duration trials seed jobs =
+  let run ds smrs alloc threads_list machine keys duration trials seed jobs churn =
     let jobs = resolve_jobs jobs in
     (* [all] / [all_af] expand from the registry, so a newly registered
        reclaimer shows up in sweeps without touching the CLI. *)
@@ -275,7 +292,9 @@ let sweep_cmd =
     let cells =
       Runtime.Pool.map ~jobs
         (fun (smr, n) ->
-          let cfg = config ds smr alloc n machine keys duration trials seed false false 1 None in
+          let cfg =
+            config ?churn ds smr alloc n machine keys duration trials seed false false 1 None
+          in
           let s = Runtime.Trial.throughput_summary (Runtime.Runner.run ~jobs:1 cfg) in
           Report.Table.mops s.Runtime.Trial.mean)
         (List.concat_map (fun smr -> List.map (fun n -> (smr, n)) threads) smrs)
@@ -290,7 +309,7 @@ let sweep_cmd =
   Cmd.v (Cmd.info "sweep" ~doc:"Throughput sweep over thread counts and reclaimers.")
     Term.(
       const run $ ds_arg $ smrs_arg $ alloc_arg $ threads_list_arg $ machine_arg $ keys_arg
-      $ duration_arg $ trials_arg $ seed_arg $ jobs_arg)
+      $ duration_arg $ trials_arg $ seed_arg $ jobs_arg $ churn_arg)
 
 let compare_cmd =
   let smr_a = Arg.(value & pos 0 string "debra" & info [] ~docv:"SMR_A") in

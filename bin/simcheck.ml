@@ -300,6 +300,14 @@ let selftest_matrix =
     ("sim/list/hazard", "random-walk", "uaf-free-early", 20);
     ("par/hp/batch", "random-walk", "hp-skip-validate", 20);
     ("par/hp/af", "random-walk", "hp-drop-retired", 20);
+    (* The churn mutants break the thread-teardown chain and only bite in
+       the churn scenarios: skipping the reclaimer's deregistration leaves
+       the token with a dead holder — the ring stalls and the quiet tail
+       blows the scenario's stall budget; dropping the dying thread's
+       freeable backlog removes objects from every ledger at once, which
+       conservation counts after the run. *)
+    ("sim/churn/token-holder", "random-walk", "churn-skip-handoff", 20);
+    ("sim/churn/ebr-stalled-reader", "random-walk", "churn-skip-death-flush", 40);
   ]
 
 let selftest_cmd =

@@ -29,14 +29,25 @@ type t = {
   free : Sched.thread -> int -> unit;
   (* Objects currently sitting in caches/bins, available for reuse. *)
   cached_objects : unit -> int;
+  (* Cache teardown when a simulated thread retires mid-trial (churn):
+     jemalloc's thread-death tcache flush, tcmalloc's central-list return.
+     Runs on the dying thread's coroutine from the runner's teardown
+     chain. *)
+  thread_exit : Sched.thread -> unit;
 }
 
 (* Build the public [t] from an allocator's raw entry points, adding the
    instrumentation shared by all models:
    - [malloc] marks the handle live and counts the allocation;
    - [free] marks it dead, sets the [in_free] flag for inclusive time
-     accounting, times the call and reports it. *)
-let instrument ~name ~table ~raw_malloc ~raw_free ~cached_objects =
+     accounting, times the call and reports it;
+   - [thread_exit] (raw hook returns objects moved out of the dying
+     thread's caches; default: nothing cached per-thread) counts the
+     moved objects into [teardown_frees] and traces the pass as a
+     [Teardown_flush] span, which is what lets the profiler cross-check
+     churn metrics against the trace bit-exactly. *)
+let instrument ~name ~table ~raw_malloc ~raw_free ?(raw_thread_exit = fun _ -> 0)
+    ~cached_objects () =
   let malloc (th : Sched.thread) size =
     let h = raw_malloc th size in
     Obj_table.mark_live table h;
@@ -59,7 +70,23 @@ let instrument ~name ~table ~raw_malloc ~raw_free ~cached_objects =
     th.Sched.metrics.Metrics.frees <- th.Sched.metrics.Metrics.frees + 1;
     th.Sched.hooks.Sched.on_free_call ~start ~stop
   in
-  { name; table; malloc; free; cached_objects }
+  let thread_exit (th : Sched.thread) =
+    let start = Sched.now th in
+    th.Sched.in_flush <- true;
+    let moved =
+      try raw_thread_exit th
+      with e ->
+        th.Sched.in_flush <- false;
+        raise e
+    in
+    th.Sched.in_flush <- false;
+    let stop = Sched.now th in
+    th.Sched.metrics.Metrics.teardown_frees <- th.Sched.metrics.Metrics.teardown_frees + moved;
+    Tracer.span
+      (Sched.tracer th.Sched.sched)
+      Tracer.Teardown_flush ~tid:th.Sched.tid ~ts:start ~dur:(stop - start) ~a:moved ~b:0
+  in
+  { name; table; malloc; free; cached_objects; thread_exit }
 
 (* Flush-batch grouping: sort a batch of handles by their home bin (stable
    on insertion order), so flushes visit each bin once and the simulation is

@@ -24,6 +24,10 @@ type t = {
   free : Sched.thread -> int -> unit;
   cached_objects : unit -> int;
       (** objects sitting in caches/bins, available for reuse *)
+  thread_exit : Sched.thread -> unit;
+      (** cache teardown when a simulated thread retires mid-trial:
+          jemalloc's thread-death tcache flush, tcmalloc's central-list
+          return. Runs on the dying thread's coroutine. *)
 }
 
 val instrument :
@@ -31,11 +35,17 @@ val instrument :
   table:Obj_table.t ->
   raw_malloc:(Sched.thread -> int -> int) ->
   raw_free:(Sched.thread -> int -> unit) ->
+  ?raw_thread_exit:(Sched.thread -> int) ->
   cached_objects:(unit -> int) ->
+  unit ->
   t
 (** Wrap raw entry points with the shared instrumentation: live-bit
     maintenance, alloc/free counters, inclusive free timing, histogram and
-    hook reporting. *)
+    hook reporting. [raw_thread_exit] implements the model's cache
+    teardown and returns the number of objects moved out of the dying
+    thread's caches (default: none); the wrapper accumulates that count
+    into [teardown_frees] and traces the pass as a [Teardown_flush]
+    span. *)
 
 (** Zero-allocation flush-batch grouping. A [Grouper.t] is a set of
     per-allocator scratch buffers, reused across flushes, that sorts a batch

@@ -101,6 +101,32 @@ let drain_pending t (th : Sched.thread) cls =
     Tracer.flush_end tr ~tid:th.Sched.tid ~ts:(Sched.now th)
   end
 
+(* Thread death: everything the dying thread still holds must leave — but
+   this variant keeps its character and returns it chunk-wise rather than
+   in one monolithic flush: tcaches spill into the pending buffer, which
+   is then drained to the bins a chunk at a time until empty. Same total
+   work, many short lock holds instead of one long burst. *)
+let raw_thread_exit t (th : Sched.thread) =
+  let tid = th.Sched.tid in
+  let moved = ref 0 in
+  for cls = 0 to Size_class.count - 1 do
+    let tc = t.tcache.(tid).(cls) in
+    let pending = t.pending.(tid).(cls) in
+    let n = Vec.length tc in
+    if n > 0 then begin
+      Sched.work_n th Metrics.Alloc ~per:(t.cost.Cost_model.cache_push / 2) ~count:n;
+      for i = 0 to n - 1 do
+        Vec.push pending (Vec.get tc i)
+      done;
+      Vec.drop_front tc n
+    end;
+    moved := !moved + Vec.length pending;
+    while not (Vec.is_empty pending) do
+      drain_pending t th cls
+    done
+  done;
+  !moved
+
 let raw_free t (th : Sched.thread) h =
   let tid = th.Sched.tid in
   let cls = Obj_table.size_class t.table h in
@@ -193,4 +219,5 @@ let make ?config sched =
   let t = create ?config sched in
   Alloc_intf.instrument ~name:"jemalloc-batch-aware" ~table:t.table
     ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
-    ~cached_objects:(cached_objects t)
+    ~raw_thread_exit:(raw_thread_exit t)
+    ~cached_objects:(cached_objects t) ()

@@ -70,9 +70,9 @@ let create ?(config = Alloc_intf.default_config) sched =
    once per flush. All work in here is accounted inclusively as flush (and
    free) time; lock waiting additionally lands in the lock bucket — the
    virtual analogue of je_tcache_bin_flush_small / je_malloc_mutex_lock_slow. *)
-let flush t (th : Sched.thread) cls =
+let flush_down t (th : Sched.thread) cls ~keep =
   let tc = t.tcache.(th.Sched.tid).(cls) in
-  let n_flush = Vec.length tc - t.flush_keep in
+  let n_flush = Vec.length tc - keep in
   if n_flush > 0 then begin
     let tr = Sched.tracer th.Sched.sched in
     let t0 = Sched.now th in
@@ -125,6 +125,24 @@ let flush t (th : Sched.thread) cls =
     th.Sched.in_flush <- false;
     Tracer.flush_end tr ~tid:th.Sched.tid ~ts:(Sched.now th)
   end
+
+let flush t th cls = flush_down t th cls ~keep:t.flush_keep
+
+(* Thread-death tcache flush: when a thread retires, jemalloc's
+   tcache_destroy returns *everything* in every cache bin to the owner
+   bins — the overflow path with nothing kept back. This is the canonical
+   remote-batch-free burst: one dying thread grabs many remote bin locks
+   back to back, under the same quadratic scan cost as any other flush. *)
+let raw_thread_exit t (th : Sched.thread) =
+  let moved = ref 0 in
+  for cls = 0 to Size_class.count - 1 do
+    let n = Vec.length t.tcache.(th.Sched.tid).(cls) in
+    if n > 0 then begin
+      moved := !moved + n;
+      flush_down t th cls ~keep:0
+    end
+  done;
+  !moved
 
 let raw_free t (th : Sched.thread) h =
   let cls = Obj_table.size_class t.table h in
@@ -190,4 +208,5 @@ let make ?config sched =
   let t = create ?config sched in
   Alloc_intf.instrument ~name:"jemalloc" ~table:t.table
     ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
-    ~cached_objects:(cached_objects t)
+    ~raw_thread_exit:(raw_thread_exit t)
+    ~cached_objects:(cached_objects t) ()

@@ -24,6 +24,7 @@ let raw_free _t (th : Sched.thread) _h =
 
 let make ?config sched =
   let t = create ?config sched in
+  (* No per-thread caches: thread exit tears down nothing (the default). *)
   Alloc_intf.instrument ~name:"leak" ~table:t.table
     ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
-    ~cached_objects:(fun () -> 0)
+    ~cached_objects:(fun () -> 0) ()

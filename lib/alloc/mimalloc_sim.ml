@@ -170,6 +170,11 @@ let cached_objects t () =
 
 let make ?config sched =
   let t = create ?config sched in
+  (* Thread death in mimalloc abandons the heap's pages in place — objects
+     stay on their page free lists and are adopted lazily by whoever
+     allocates from the page next. No flush burst, no locks: the default
+     no-op teardown (0 objects moved) is the honest model, and the
+     experimental contrast to jemalloc's death flush. *)
   Alloc_intf.instrument ~name:"mimalloc" ~table:t.table
     ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
-    ~cached_objects:(cached_objects t)
+    ~cached_objects:(cached_objects t) ()

@@ -57,5 +57,12 @@ let wrap ~n base =
     Alloc_intf.instrument ~name:(base.Alloc_intf.name ^ "+pool") ~table:base.Alloc_intf.table
       ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
       ~cached_objects:(fun () -> base.Alloc_intf.cached_objects () + t.pooled)
+      ()
   in
+  (* Pooled memory is never returned (the paper's trade-off), and that
+     includes thread death: the dying thread's pool stays parked under its
+     tid, ready if the thread respawns. Teardown delegates to the base
+     allocator's already-instrumented hook so its cache flush is counted
+     and traced exactly once. *)
+  let wrapped = { wrapped with Alloc_intf.thread_exit = base.Alloc_intf.thread_exit } in
   (wrapped, t)

@@ -55,9 +55,9 @@ let create ?(config = Alloc_intf.default_config) sched =
     flush_keep = max 1 (int_of_float (float_of_int config.tcache_cap *. (1. -. config.flush_fraction)));
   }
 
-let flush t (th : Sched.thread) cls =
+let flush_down t (th : Sched.thread) cls ~keep =
   let tc = t.tcache.(th.Sched.tid).(cls) in
-  let n_flush = Vec.length tc - t.flush_keep in
+  let n_flush = Vec.length tc - keep in
   if n_flush > 0 then begin
     let tr = Sched.tracer th.Sched.sched in
     let t0 = Sched.now th in
@@ -86,6 +86,23 @@ let flush t (th : Sched.thread) cls =
     th.Sched.in_flush <- false;
     Tracer.flush_end tr ~tid:th.Sched.tid ~ts:(Sched.now th)
   end
+
+let flush t th cls = flush_down t th cls ~keep:t.flush_keep
+
+(* Thread death: TCmalloc returns the dying thread's entire cache to the
+   central free lists — one splice per non-empty class, each under the
+   class's global lock. Cheap per object, but at high thread counts the
+   central locks make even teardown a contention event. *)
+let raw_thread_exit t (th : Sched.thread) =
+  let moved = ref 0 in
+  for cls = 0 to Size_class.count - 1 do
+    let n = Vec.length t.tcache.(th.Sched.tid).(cls) in
+    if n > 0 then begin
+      moved := !moved + n;
+      flush_down t th cls ~keep:0
+    end
+  done;
+  !moved
 
 let raw_free t (th : Sched.thread) h =
   let cls = Obj_table.size_class t.table h in
@@ -145,4 +162,5 @@ let make ?config sched =
   let t = create ?config sched in
   Alloc_intf.instrument ~name:"tcmalloc" ~table:t.table
     ~raw_malloc:(raw_malloc t) ~raw_free:(raw_free t)
-    ~cached_objects:(cached_objects t)
+    ~raw_thread_exit:(raw_thread_exit t)
+    ~cached_objects:(cached_objects t) ()

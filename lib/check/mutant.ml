@@ -21,9 +21,25 @@ type t =
   | Hp_drop_retired
     (* silently drop every fifth hazard-pointer retire-list entry: the
        scan never sees it, so the object leaks (conservation) *)
+  | Churn_skip_handoff
+    (* thread teardown skips the reclaimer's participant deregistration:
+       a retiring token holder takes the token to the grave and the ring
+       stalls (liveness); churn scenarios only *)
+  | Churn_skip_death_flush
+    (* thread teardown drops the dying thread's grace-proven freeable
+       backlog instead of flushing it to the allocator: the objects
+       vanish from every ledger (conservation); churn scenarios only *)
 
 let names =
-  [ "uaf-free-early"; "uaf-short-grace"; "lost-callback"; "hp-skip-validate"; "hp-drop-retired" ]
+  [
+    "uaf-free-early";
+    "uaf-short-grace";
+    "lost-callback";
+    "hp-skip-validate";
+    "hp-drop-retired";
+    "churn-skip-handoff";
+    "churn-skip-death-flush";
+  ]
 
 let to_name = function
   | Uaf_free_early -> "uaf-free-early"
@@ -31,6 +47,8 @@ let to_name = function
   | Lost_callback -> "lost-callback"
   | Hp_skip_validate -> "hp-skip-validate"
   | Hp_drop_retired -> "hp-drop-retired"
+  | Churn_skip_handoff -> "churn-skip-handoff"
+  | Churn_skip_death_flush -> "churn-skip-death-flush"
 
 let of_name = function
   | "uaf-free-early" -> Some Uaf_free_early
@@ -38,6 +56,8 @@ let of_name = function
   | "lost-callback" -> Some Lost_callback
   | "hp-skip-validate" -> Some Hp_skip_validate
   | "hp-drop-retired" -> Some Hp_drop_retired
+  | "churn-skip-handoff" -> Some Churn_skip_handoff
+  | "churn-skip-death-flush" -> Some Churn_skip_death_flush
   | _ -> None
 
 let describe = function
@@ -48,3 +68,7 @@ let describe = function
       "skip the validate after publishing a hazard slot (use-after-free; HP scenarios only)"
   | Hp_drop_retired ->
       "drop every fifth hazard-pointer retire-list entry (leak; HP scenarios only)"
+  | Churn_skip_handoff ->
+      "skip reclaimer deregistration at thread teardown (ring stall; churn scenarios only)"
+  | Churn_skip_death_flush ->
+      "drop the dying thread's freeable backlog at teardown (leak; churn scenarios only)"

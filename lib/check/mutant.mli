@@ -14,6 +14,14 @@ type t =
   | Hp_drop_retired
       (** drop every fifth HP retire-list entry: a leak the scan can never
           repair. Only effective in hazard-pointer scenarios. *)
+  | Churn_skip_handoff
+      (** thread teardown skips the reclaimer's participant deregistration:
+          a retiring token holder takes the token with it and the ring
+          stalls. Only effective in churn scenarios. *)
+  | Churn_skip_death_flush
+      (** thread teardown drops the dying thread's grace-proven freeable
+          backlog instead of flushing it: a leak no ledger counts. Only
+          effective in churn scenarios. *)
 
 val names : string list
 val to_name : t -> string

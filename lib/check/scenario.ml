@@ -52,6 +52,12 @@ type sim_params = {
   stall_budget : int option;  (* base epoch-stall budget, virtual ns *)
   pending_cap : int option;
   drain_slack : int;
+  churn : (int * int * int) list;
+      (* thread-lifecycle plan: (tid, retire-after-ops, down-ns). The tid
+         retires cooperatively after that many mutating operations, runs
+         its teardown chain, and — when down-ns >= 0 — respawns that much
+         virtual time later to join the quiet phase. A negative downtime
+         means the thread never returns. *)
 }
 
 let default_sim =
@@ -65,6 +71,7 @@ let default_sim =
     stall_budget = None;
     pending_cap = None;
     drain_slack = 0;
+    churn = [];
   }
 
 (* Wrap the reclaimer's retire path with a seeded bug. The mutants bypass
@@ -91,9 +98,13 @@ let mutated_retire ~(smr : Smr.Smr_intf.t) ~safety ~policy ~held = function
         incr held
   | Some Mutant.Lost_callback -> fun _ _ -> ()
   (* The HP mutants perturb the protect/validate path of the dedicated
-     hazard-pointer runner; under the generic runners they leave the
-     protocol genuine (the selftest matrix pins them to HP scenarios). *)
-  | Some (Mutant.Hp_skip_validate | Mutant.Hp_drop_retired) -> smr.Smr.Smr_intf.retire
+     hazard-pointer runner, and the churn mutants perturb the teardown
+     chain; on the retire path both families leave the protocol genuine
+     (the selftest matrix pins them to their scenarios). *)
+  | Some
+      ( Mutant.Hp_skip_validate | Mutant.Hp_drop_retired | Mutant.Churn_skip_handoff
+      | Mutant.Churn_skip_death_flush ) ->
+      smr.Smr.Smr_intf.retire
 
 let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy.recorder)
     ~mutant =
@@ -130,8 +141,35 @@ let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy
   Array.iter
     (fun (th : Sched.thread) ->
       th.Sched.hooks.Sched.on_epoch_advance <-
-        (fun ~time ~epoch:_ -> Liveness.note_advance liv ~time))
+        (fun ~time ~epoch:_ -> Liveness.note_advance liv ~time);
+      (* Teardown chain, in registration order (mirroring Runtime.Runner):
+         the validator learns the thread went quiescent, the reclaimer
+         deregisters the participant (token handoff, slot release, bag
+         adoption), and the grace-proven freeable backlog is flushed. The
+         two churn mutants each break exactly one link. Hooks persist
+         across retire/respawn cycles, so one registration covers every
+         lifecycle the schedule produces. *)
+      Sched.on_teardown th (fun th ->
+          Smr.Safety.note_quiescent safety ~tid:th.Sched.tid);
+      Sched.on_teardown th (fun th ->
+          match mutant with
+          | Some Mutant.Churn_skip_handoff -> ()
+          | _ -> smr.Smr.Smr_intf.on_thread_exit th);
+      Sched.on_teardown th (fun th ->
+          match mutant with
+          | Some Mutant.Churn_skip_death_flush ->
+              (* Drop the backlog on the floor: the objects leave every
+                 ledger at once, which only conservation can notice. *)
+              Vec.clear policy.Smr.Free_policy.freeable.(th.Sched.tid)
+          | _ -> ignore (Smr.Free_policy.drain_all policy th : int)))
     (Sched.threads sched);
+  let retire_after = Array.make n max_int in
+  let down_ns = Array.make n (-1) in
+  List.iter
+    (fun (tid, after, down) ->
+      retire_after.(tid) <- after;
+      down_ns.(tid) <- down)
+    p.churn;
   (try
      (* Structure creation allocates (the ABtree's initial leaf), so it
         runs inside the simulation, to completion, before the workers. *)
@@ -182,24 +220,36 @@ let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy
         cannot drain (a liveness bug) still terminates and is flagged. *)
      let quiet = Array.make n 0 in
      let drain_cap = 8 * p.drain_ops in
+     (* Only live threads owe quiet ops: a retired thread (or one parked
+        awaiting its respawn) cannot drain anything, and its stale quota
+        must not pin the survivors in the loop. Without churn every thread
+        stays alive and this is exactly the historical contract. *)
+     let exists_live f =
+       let rec go tid =
+         tid < n && (((Sched.thread sched tid).Sched.alive && f tid) || go (tid + 1))
+       in
+       go 0
+     in
      let draining () =
-       Array.exists (fun q -> q < p.drain_ops) quiet
+       exists_live (fun tid -> quiet.(tid) < p.drain_ops)
        || (Smr.Free_policy.total_pending policy > p.drain_slack
-          && Array.exists (fun q -> q < drain_cap) quiet)
+          && exists_live (fun tid -> quiet.(tid) < drain_cap))
      in
      let mains_done = ref 0 in
-     let body (th : Sched.thread) =
-       for _ = 1 to p.ops_per_thread do
-         do_op th ~read_only:false
-       done;
-       (* Once every thread is past the mutating phase the adversary is
-          retired: the drain contract below counts operations, not virtual
-          time, so further stalls could not mask a bug — they would only
-          make the catch-up through stall-inflated clocks expensive. *)
+     let main_phase_over () =
+       (* Once every thread is past the mutating phase (or dead) the
+          adversary is retired: the drain contract below counts
+          operations, not virtual time, so further stalls could not mask
+          a bug — they would only make the catch-up through
+          stall-inflated clocks expensive. *)
        incr mains_done;
-       if !mains_done = n then Sched.set_controller sched None;
-       (* Quiet phase: no retirements, so the amortized-free backlog must
-          drain back toward zero — the AF liveness contract. *)
+       if !mains_done = n then Sched.set_controller sched None
+     in
+     (* Quiet phase: no retirements, so the amortized-free backlog must
+        drain back toward zero — the AF liveness contract. Respawned
+        threads enter here directly: their mutating quota died with their
+        first life. *)
+     let quiet_phase (th : Sched.thread) =
        while draining () do
          do_op th ~read_only:true;
          (* Idle between quiet ops to catch up cheaply through any
@@ -211,6 +261,31 @@ let run_sim ~name ~ds_name ~smr_name ~params ~tracer ~seed ~(recorder : Strategy
          quiet.(th.Sched.tid) <- quiet.(th.Sched.tid) + 1
        done;
        Smr.Safety.note_quiescent safety ~tid:th.Sched.tid
+     in
+     let body (th : Sched.thread) =
+       let tid = th.Sched.tid in
+       let k = ref 0 in
+       let retired = ref false in
+       while (not !retired) && !k < p.ops_per_thread do
+         do_op th ~read_only:false;
+         incr k;
+         if !k = retire_after.(tid) then begin
+           (* Cooperative retirement at an operation boundary: the
+              teardown chain runs on this coroutine, then the body
+              returns. The downtime clock starts once teardown is paid
+              for, so the respawn time can never precede the thread's
+              own clock. *)
+           retired := true;
+           main_phase_over ();
+           Sched.retire sched ~tid;
+           if down_ns.(tid) >= 0 then
+             Sched.respawn sched ~tid ~at:(Sched.now th + down_ns.(tid)) quiet_phase
+         end
+       done;
+       if not !retired then begin
+         main_phase_over ();
+         quiet_phase th
+       end
      in
      Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
      Sched.run sched;
@@ -385,8 +460,10 @@ let run_par ~name ~make_proto ~params ~tracer ~seed ~(recorder : Strategy.record
           (match !stash with Some f -> f () | None -> ());
           stash := Some cb
     | Some Mutant.Lost_callback -> fun _ _ -> ()
-    | Some (Mutant.Hp_skip_validate | Mutant.Hp_drop_retired) ->
-        (* HP-specific mutants: genuine protocol under the generic runner. *)
+    | Some
+        ( Mutant.Hp_skip_validate | Mutant.Hp_drop_retired | Mutant.Churn_skip_handoff
+        | Mutant.Churn_skip_death_flush ) ->
+        (* HP- and churn-specific mutants: genuine protocol here. *)
         proto.retire
   in
   let interleaving = Buffer.create 256 in
@@ -628,7 +705,10 @@ let run_par_hp ~name ~mode ~params ~tracer ~seed ~(recorder : Strategy.recorder)
         incr drop_counter;
         if !drop_counter mod 5 = 0 then ()
         else Parallel.Hp.retire handles.(i) ~value:b (release_block b)
-    | None | Some Mutant.Hp_skip_validate ->
+    | None
+    | Some
+        ( Mutant.Hp_skip_validate | Mutant.Churn_skip_handoff | Mutant.Churn_skip_death_flush
+          ) ->
         Parallel.Hp.retire handles.(i) ~value:b (release_block b)
   in
   (* Scans are this protocol's reclamation progress (there is no epoch). *)
@@ -919,6 +999,68 @@ let all =
         stall_budget = Some 12_000_000;
         pending_cap = Some 512;
         drain_slack = 4;
+      };
+    (* Churn scenarios: thread retirement and respawn under every
+       reclaimer family. Each churn triple is (tid, retire-after-ops,
+       down-ns); a negative downtime means the thread never returns.
+
+       sim/churn/token-holder retires three of the four ring members at
+       staggered op counts, so on most schedules at least one of them
+       holds the token — mid-grace-period, with receipts outstanding —
+       when it dies; the handoff in the reclaimer's teardown must keep
+       the ring turning. Its stall budget is deliberately much tighter
+       than the long quiet tail (400 quiet ops x 20us), so a ring that
+       stalls at a holder's death blows the budget on every schedule —
+       the churn-skip-handoff selftest rests on this gap. *)
+    sim ~name:"sim/churn/token-holder"
+      ~summary:"token holder retires mid-grace-period; ring must keep turning"
+      ~ds_name:"skiplist" ~smr_name:"token"
+      {
+        default_sim with
+        churn = [ (1, 30, -1); (2, 45, -1); (3, 60, -1) ];
+        drain_ops = 400;
+        stall_budget = Some 5_000_000;
+      };
+    (* The adversary can park tid 3 mid-operation with its epoch
+       announcement pinning the global epoch, then let it retire; the
+       alive-skip in the epoch scan must unpin reclamation, and the AF
+       backlog — including the dead threads' adopted bags — must still
+       drain. The churn-skip-death-flush selftest runs here: under AF the
+       dying thread usually sits on a grace-proven backlog. *)
+    sim ~name:"sim/churn/ebr-stalled-reader"
+      ~summary:"stalled EBR reader retires; epoch must unpin, AF backlog must drain"
+      ~ds_name:"list" ~smr_name:"debra_af"
+      {
+        default_sim with
+        churn = [ (1, 40, -1); (3, 60, -1) ];
+        stall_budget = Some 6_000_000;
+        pending_cap = Some 512;
+        drain_slack = 4;
+      };
+    (* A hazard-pointer owner retires while its op_start gate would
+       otherwise block every other thread's scan quiescence check, and
+       with a live retire list; teardown must release the slots and hand
+       the orphaned retire list to a survivor. One retiree comes back. *)
+    sim ~name:"sim/churn/hp-owner"
+      ~summary:"HP owner retires with live protections; slots release, orphans adopted"
+      ~ds_name:"list" ~smr_name:"hazard_af"
+      {
+        default_sim with
+        churn = [ (1, 40, -1); (2, 70, 300_000) ];
+        stall_budget = Some 12_000_000;
+        pending_cap = Some 512;
+        drain_slack = 4;
+      };
+    (* A full rolling restart over the lazy list: every thread retires
+       once, staggered, and rejoins 200us later — the suite's
+       rolling-restart churn plan at checkable scale. *)
+    sim ~name:"sim/churn/list-rolling"
+      ~summary:"rolling restart over the lazy list set; every thread retires and rejoins"
+      ~ds_name:"list" ~smr_name:"debra"
+      {
+        default_sim with
+        churn = [ (0, 30, 200_000); (1, 45, 200_000); (2, 60, 200_000); (3, 75, 200_000) ];
+        stall_budget = Some 6_000_000;
       };
     par_hp ~name:"par/hp/batch"
       ~summary:"real hazard pointers (Atomics), protect/validate loop, batch release"

@@ -87,6 +87,34 @@ let end_op t (th : Sched.thread) =
   let st = t.states.(th.Sched.tid) in
   if Vec.length st.cur >= t.spec.buffer_size then reclamation_pass t th st
 
+(* Deregistration: both generations of the dying thread's buffer are
+   adopted into the next live thread's *current* generation — they restart
+   the two-pass wait from scratch, which is conservative but safe for every
+   member of the family. With no live successor they stay parked under the
+   dead tid, still counted by [garbage_of]. *)
+let on_thread_exit t (th : Sched.thread) =
+  let sched = t.ctx.Smr_intf.sched in
+  let n = Sched.n_threads sched in
+  let tid = th.Sched.tid in
+  let st = t.states.(tid) in
+  let next_live =
+    let rec go k remaining =
+      if remaining = 0 then -1
+      else
+        let next = (k + 1) mod n in
+        if (Sched.thread sched next).Sched.alive then next else go next (remaining - 1)
+    in
+    go tid (n - 1)
+  in
+  if next_live >= 0 && Vec.length st.cur + Vec.length st.prev > 0 then begin
+    let dst = t.states.(next_live) in
+    Sched.work th Metrics.Smr t.ctx.Smr_intf.policy.Free_policy.splice_cost;
+    Vec.append dst.cur st.cur;
+    Vec.append dst.cur st.prev;
+    Vec.clear st.cur;
+    Vec.clear st.prev
+  end
+
 let make spec (ctx : Smr_intf.ctx) =
   let n = Sched.n_threads ctx.Smr_intf.sched in
   let t =
@@ -101,6 +129,7 @@ let make spec (ctx : Smr_intf.ctx) =
     begin_op = begin_op t;
     end_op = end_op t;
     retire = retire t;
+    on_thread_exit = on_thread_exit t;
     per_node_ns = spec.per_node_ns;
     uses_grace_periods = spec.uses_grace_periods;
     garbage_of;

@@ -75,7 +75,14 @@ let try_advance t st (th : Sched.thread) e =
   let n = Sched.n_threads t.ctx.Smr_intf.sched in
   let cost = Sched.cost t.ctx.Smr_intf.sched in
   Sched.work th Metrics.Smr cost.Cost_model.read_slot;
-  if t.announce.(st.scan_idx) = e then begin
+  (* A dead thread cannot announce; its slot must not block the epoch
+     forever. The alive check sits *after* the announcement compare, so a
+     fully live population never reads the flag and pays exactly the
+     pre-churn cost. *)
+  if
+    t.announce.(st.scan_idx) = e
+    || not (Sched.thread t.ctx.Smr_intf.sched st.scan_idx).Sched.alive
+  then begin
     (* [scan_idx] is always in [0, n): wrap with a compare, not an idiv —
        this runs every [check_every] ops on every thread. *)
     let i = st.scan_idx + 1 in
@@ -123,6 +130,42 @@ let retire t (th : Sched.thread) h =
   if Tracer.enabled tr then
     Tracer.instant tr Tracer.Retire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:h ~b:0
 
+(* Deregistration: the dying thread's limbo bags have not finished their
+   grace period, so they are adopted into the next live thread's *current*
+   bag — picking up that bag's (younger) epoch tag, i.e. conservatively
+   restarting the wait. The announcement slot needs no write: [try_advance]
+   skips dead threads. With no live successor the bags stay parked under
+   the dead tid, still counted by [garbage_of]. *)
+let on_thread_exit t (th : Sched.thread) =
+  let sched = t.ctx.Smr_intf.sched in
+  let n = Sched.n_threads sched in
+  let tid = th.Sched.tid in
+  let st = t.states.(tid) in
+  let next_live =
+    let rec go k remaining =
+      if remaining = 0 then -1
+      else
+        let next = (k + 1) mod n in
+        if (Sched.thread sched next).Sched.alive then next else go next (remaining - 1)
+    in
+    go tid (n - 1)
+  in
+  if next_live >= 0 then begin
+    let dst = t.states.(next_live) in
+    let moved = ref 0 in
+    for i = 0 to bags_per_thread - 1 do
+      if Vec.length st.bags.(i) > 0 then begin
+        moved := !moved + Vec.length st.bags.(i);
+        Vec.append dst.bags.(dst.cur) st.bags.(i);
+        Vec.clear st.bags.(i)
+      end;
+      st.bag_epoch.(i) <- -1
+    done;
+    st.bag_epoch.(st.cur) <- st.announced;
+    if !moved > 0 then
+      Sched.work th Metrics.Smr t.ctx.Smr_intf.policy.Free_policy.splice_cost
+  end
+
 let make ~name ~check_every ~announce_every_op (ctx : Smr_intf.ctx) =
   let n = Sched.n_threads ctx.Smr_intf.sched in
   let t =
@@ -162,6 +205,7 @@ let make ~name ~check_every ~announce_every_op (ctx : Smr_intf.ctx) =
     begin_op;
     end_op = (fun _ -> ());
     retire = retire t;
+    on_thread_exit = on_thread_exit t;
     per_node_ns = 0;
     uses_grace_periods = true;
     garbage_of;

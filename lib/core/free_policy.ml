@@ -84,6 +84,24 @@ let tick t (th : Sched.thread) =
             ~a:n ~b:0
       end
 
+(* Thread teardown: a retiring thread's freeable backlog is already proven
+   safe, so it all goes to the allocator now — there will be no more ticks
+   to drain it. Returns the number of objects freed. *)
+let drain_all t (th : Sched.thread) =
+  let fl = t.freeable.(th.Sched.tid) in
+  let n = Vec.length fl in
+  if n > 0 then begin
+    let t0 = Sched.now th in
+    for _ = 1 to n do
+      free_one t th (Vec.pop fl)
+    done;
+    let tr = Sched.tracer th.Sched.sched in
+    if Tracer.enabled tr then
+      Tracer.span tr Tracer.Af_drain ~tid:th.Sched.tid ~ts:t0 ~dur:(Sched.now th - t0)
+        ~a:n ~b:0
+  end;
+  n
+
 (* Objects identified as safe but not yet freed, per thread. *)
 let pending t tid = Vec.length t.freeable.(tid)
 

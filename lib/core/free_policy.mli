@@ -36,6 +36,11 @@ val tick : t -> Sched.thread -> unit
 (** Called once per data-structure operation: under AF, frees up to [k]
     objects from the freeable list. *)
 
+val drain_all : t -> Sched.thread -> int
+(** Thread teardown: free the calling thread's whole freeable backlog (it
+    is already grace-proven; no more ticks will drain it). Returns the
+    number of objects freed. *)
+
 val pending : t -> int -> int
 (** Safe-but-unfreed objects held for a thread. *)
 

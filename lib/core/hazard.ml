@@ -168,6 +168,37 @@ let end_op t (th : Sched.thread) =
   if Vec.length st.rl_handle >= t.scan_threshold then scan t th st;
   Contention.charge th t.clear_slots_ns
 
+(* Deregistration: release the dying thread's hazard slots — resetting
+   [op_start] to [max_int] (never began), so [min_other_op_start] stops
+   treating its last operation as forever in flight — and hand its retire
+   list to the next live thread (orphan adoption, scanned at the adopter's
+   next threshold scan, retire times preserved). With no live successor the
+   list stays parked under the dead tid, still counted by [garbage_of]. *)
+let on_thread_exit t (th : Sched.thread) =
+  let sched = t.ctx.Smr_intf.sched in
+  let n = Sched.n_threads sched in
+  let tid = th.Sched.tid in
+  let st = t.states.(tid) in
+  t.op_start.(tid) <- max_int;
+  Contention.charge th t.clear_slots_ns;
+  let next_live =
+    let rec go k remaining =
+      if remaining = 0 then -1
+      else
+        let next = (k + 1) mod n in
+        if (Sched.thread sched next).Sched.alive then next else go next (remaining - 1)
+    in
+    go tid (n - 1)
+  in
+  if next_live >= 0 && Vec.length st.rl_handle > 0 then begin
+    let dst = t.states.(next_live) in
+    Sched.work th Metrics.Smr t.ctx.Smr_intf.policy.Free_policy.splice_cost;
+    Vec.append dst.rl_handle st.rl_handle;
+    Vec.append dst.rl_time st.rl_time;
+    Vec.clear st.rl_handle;
+    Vec.clear st.rl_time
+  end
+
 let make ?(scan_threshold = 384) (ctx : Smr_intf.ctx) =
   let n = Sched.n_threads ctx.Smr_intf.sched in
   let t =
@@ -198,6 +229,7 @@ let make ?(scan_threshold = 384) (ctx : Smr_intf.ctx) =
     begin_op = begin_op t;
     end_op = end_op t;
     retire = retire t;
+    on_thread_exit = on_thread_exit t;
     per_node_ns = 75;  (* hazard publication + fence per visited node *)
     (* Frees satisfy the grace-period rule by construction (an object is
        freed only when no other in-flight op predates its retirement), so

@@ -16,6 +16,8 @@ let make (ctx : Smr_intf.ctx) =
       (fun th _h ->
         leaked.(th.Sched.tid) <- leaked.(th.Sched.tid) + 1;
         th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1);
+    (* Leaked objects stay leaked; nothing to hand off on thread exit. *)
+    on_thread_exit = (fun _ -> ());
     per_node_ns = 0;
     uses_grace_periods = false;
     garbage_of = (fun tid -> leaked.(tid));
@@ -37,6 +39,8 @@ let unsafe_immediate (ctx : Smr_intf.ctx) =
         | None -> ());
         th.Sched.metrics.Metrics.retires <- th.Sched.metrics.Metrics.retires + 1;
         Free_policy.free_one ctx.Smr_intf.policy th h);
+    (* Everything was freed at retire; nothing outstanding at thread exit. *)
+    on_thread_exit = (fun _ -> ());
     per_node_ns = 0;
     uses_grace_periods = true;
     garbage_of = (fun _ -> 0);

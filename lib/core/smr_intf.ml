@@ -5,6 +5,8 @@
      announcements, token checks, bag rotation, AF draining);
    - [end_op] at the end (quiescence announcements);
    - [retire] whenever the data structure unlinks a node;
+   - [on_thread_exit] when a participant retires from the population
+     (deregistration: token handoff, hazard-slot release, bag adoption);
    - [per_node_ns] is the protection cost the reclaimer imposes on every
      node the operation traverses (hazard pointer publication etc.), before
      contention scaling — the runtime charges it because only the data
@@ -17,6 +19,8 @@ type t = {
   begin_op : Sched.thread -> unit;
   end_op : Sched.thread -> unit;
   retire : Sched.thread -> int -> unit;
+  on_thread_exit : Sched.thread -> unit;
+      (* deregister a retiring participant so the survivors never wait on it *)
   per_node_ns : int;
   uses_grace_periods : bool;
       (* true for epoch-style schemes whose safety the validator can check *)
@@ -40,6 +44,7 @@ let noop_reclaimer =
     begin_op = (fun _ -> ());
     end_op = (fun _ -> ());
     retire = (fun _ _ -> ());
+    on_thread_exit = (fun _ -> ());
     per_node_ns = 0;
     uses_grace_periods = false;
     garbage_of = (fun _ -> 0);

@@ -2,7 +2,8 @@
 
     A reclaimer is driven by the experiment runtime: [begin_op]/[end_op]
     around every data-structure operation, [retire] whenever a node is
-    unlinked. [per_node_ns] is the protection cost imposed on every node an
+    unlinked, [on_thread_exit] when a participant leaves the population
+    (thread churn). [per_node_ns] is the protection cost imposed on every node an
     operation traverses (hazard-pointer publication etc.); the runtime
     charges it — contention-scaled — because only the data structure knows
     how many nodes were visited. *)
@@ -14,6 +15,10 @@ type t = {
   begin_op : Sched.thread -> unit;
   end_op : Sched.thread -> unit;
   retire : Sched.thread -> int -> unit;
+  on_thread_exit : Sched.thread -> unit;
+      (** deregister a retiring participant: hand off the token, release
+          hazard slots, adopt limbo bags — whatever the scheme needs so the
+          survivors never wait on a dead thread *)
   per_node_ns : int;
   uses_grace_periods : bool;
       (** true for schemes whose safety the grace-period validator checks *)

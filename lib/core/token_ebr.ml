@@ -44,12 +44,23 @@ type t = {
 let token_check_cost = 4
 let token_pass_cost = 20  (* shared cache line handoff to the next thread *)
 
+(* Hand the token to the next *live* thread on the ring. With a static
+   population this is the plain [(tid + 1) mod n] hop; under churn, dead
+   tids are skipped (they can no longer pass it on). If every other thread
+   is dead the token parks at [-1] and the next [begin_op] — or the next
+   respawn — re-adopts it, so the ring never deadlocks on an empty seat. *)
 let pass_token t (th : Sched.thread) =
-  let n = Sched.n_threads t.ctx.Smr_intf.sched in
+  let sched = t.ctx.Smr_intf.sched in
+  let n = Sched.n_threads sched in
   Contention.charge th token_pass_cost;
-  let next = (th.Sched.tid + 1) mod n in
-  if next = 0 then t.rounds <- t.rounds + 1;
-  t.holder <- next
+  let rec go k remaining =
+    let next = (k + 1) mod n in
+    if next = 0 then t.rounds <- t.rounds + 1;
+    if (Sched.thread sched next).Sched.alive then t.holder <- next
+    else if remaining = 0 then t.holder <- -1
+    else go next (remaining - 1)
+  in
+  go th.Sched.tid (n - 1)
 
 (* Free the previous bag, checking for the token every [k] free calls and
    passing it along if it has come back (Periodic variant). *)
@@ -121,6 +132,10 @@ let begin_op t (th : Sched.thread) =
   Free_policy.tick t.ctx.Smr_intf.policy th;
   Contention.charge th token_check_cost;
   if t.holder = th.Sched.tid then on_token t t.states.(th.Sched.tid) th
+  else if t.holder < 0 then
+    (* The token parked because every other thread was dead when its last
+       holder retired; the first live thread to look re-adopts it. *)
+    t.holder <- th.Sched.tid
 
 let retire t (th : Sched.thread) h =
   let st = t.states.(th.Sched.tid) in
@@ -133,6 +148,37 @@ let retire t (th : Sched.thread) h =
   let tr = Sched.tracer th.Sched.sched in
   if Tracer.enabled tr then
     Tracer.instant tr Tracer.Retire ~tid:th.Sched.tid ~ts:(Sched.now th) ~a:h ~b:0
+
+(* Deregistration: a retiring thread must not take the token to its grave,
+   and its limbo bags have not finished their grace period. Both bags are
+   adopted into the next live thread's *current* bag — conservatively
+   restarting their wait from scratch — and the token, if held, is passed
+   on (the pass itself skips dead tids). With no live successor the bags
+   stay parked under the dead tid, still counted by [garbage_of], ready to
+   resume if the tid respawns. *)
+let on_thread_exit t (th : Sched.thread) =
+  let sched = t.ctx.Smr_intf.sched in
+  let n = Sched.n_threads sched in
+  let tid = th.Sched.tid in
+  let st = t.states.(tid) in
+  let next_live =
+    let rec go k remaining =
+      if remaining = 0 then -1
+      else
+        let next = (k + 1) mod n in
+        if (Sched.thread sched next).Sched.alive then next else go next (remaining - 1)
+    in
+    go tid (n - 1)
+  in
+  if next_live >= 0 && Vec.length st.cur + Vec.length st.prev > 0 then begin
+    let dst = t.states.(next_live) in
+    Sched.work th Metrics.Smr t.ctx.Smr_intf.policy.Free_policy.splice_cost;
+    Vec.append dst.cur st.cur;
+    Vec.append dst.cur st.prev;
+    Vec.clear st.cur;
+    Vec.clear st.prev
+  end;
+  if t.holder = tid then pass_token t th
 
 let make ?name ~variant (ctx : Smr_intf.ctx) =
   let n = Sched.n_threads ctx.Smr_intf.sched in
@@ -163,6 +209,7 @@ let make ?name ~variant (ctx : Smr_intf.ctx) =
     begin_op = begin_op t;
     end_op = (fun _ -> ());
     retire = retire t;
+    on_thread_exit = on_thread_exit t;
     per_node_ns = 0;
     uses_grace_periods = true;
     garbage_of;

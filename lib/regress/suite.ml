@@ -121,7 +121,39 @@ let paper_tier =
       ("leak", "leak");
     ]
 
-let builtin = pr_tier @ paper_tier
+(* Churn entries: the thread-lifecycle plans from Config.churn, in the pr
+   tier so the exact gate replays retire/respawn/teardown on every PR. The
+   rolling n32 entry is the acceptance config — retires staggered every
+   150us starting 500us into the window, everyone back up 400us later, all
+   inside the 8ms measured window. The failover entry runs on the tiny_8t
+   machine: the default 192t topology is socket-fill-first, so at n=8 a
+   socket failure would kill either every thread or none. *)
+let churn_pr =
+  let mk id ds smr threads churn =
+    {
+      id;
+      tier = "pr";
+      config =
+        { (with_hp_threshold (base ~ds ~smr ~threads)) with Runtime.Config.churn = Some churn };
+    }
+  in
+  [
+    mk "ll-churn-rolling-n8" "list" "debra" 8
+      (Runtime.Config.Rolling_restart
+         { first_ns = 1_000_000; every_ns = 500_000; down_ns = 500_000 });
+    mk "occ-churn-rolling-n32" "occtree" "debra_af" 32
+      (Runtime.Config.Rolling_restart
+         { first_ns = 500_000; every_ns = 150_000; down_ns = 400_000 });
+    mk "sl-churn-resize-n32" "skiplist" "token_af" 32
+      (Runtime.Config.Resize { at_ns = 2_000_000; keep = 16; down_ns = -1 });
+    (let e =
+       mk "ll-churn-failover-n8" "list" "hazard" 8
+         (Runtime.Config.Failover { at_ns = 2_000_000; socket = 1; down_ns = 1_000_000 })
+     in
+     { e with config = { e.config with Runtime.Config.topology = Simcore.Topology.tiny_8t } });
+  ]
+
+let builtin = pr_tier @ churn_pr @ paper_tier
 
 let tier_names entries =
   List.sort_uniq compare (List.map (fun e -> e.tier) entries)

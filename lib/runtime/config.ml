@@ -9,6 +9,23 @@ open Simcore
 (* Key-access distribution of the workload. *)
 type key_dist = Uniform | Zipf of float  (* skew exponent, e.g. 0.99 *)
 
+(* Thread-churn plan: which threads retire during the measured window, when,
+   and whether they come back. All times are virtual ns relative to the start
+   of the measured window; [down_ns < 0] means the thread never respawns. *)
+type churn =
+  | Rolling_restart of { first_ns : int; every_ns : int; down_ns : int }
+      (* thread [tid] retires at [first_ns + tid * every_ns] — a rolling
+         restart marching around the ring *)
+  | Resize of { at_ns : int; keep : int; down_ns : int }
+      (* threads [keep..n-1] all retire at [at_ns]: shrink under load *)
+  | Failover of { at_ns : int; socket : int; down_ns : int }
+      (* every thread pinned to [socket] retires at [at_ns]: socket loss *)
+
+let churn_name = function
+  | Rolling_restart _ -> "rolling"
+  | Resize _ -> "resize"
+  | Failover _ -> "failover"
+
 type t = {
   ds : string;  (* data structure, see Ds.Ds_registry.names *)
   smr : string;  (* reclaimer; an "_af" suffix selects amortized freeing *)
@@ -55,6 +72,9 @@ type t = {
          statistically (simbench equiv), never byte-compared, so this is
          run infrastructure like [shards] and never appears in manifests —
          a blessed baseline must pin its epsilon out of band. *)
+  churn : churn option;
+      (* thread-churn plan, [None] = static population (all pre-churn
+         behaviour and manifests unchanged) *)
 }
 
 let default =
@@ -85,10 +105,14 @@ let default =
     event_queue = None;
     shards = None;
     epsilon = None;
+    churn = None;
   }
 
 let label cfg =
-  Printf.sprintf "%s/%s/%s n=%d" cfg.ds cfg.smr cfg.alloc cfg.threads
+  let base = Printf.sprintf "%s/%s/%s n=%d" cfg.ds cfg.smr cfg.alloc cfg.threads in
+  match cfg.churn with
+  | None -> base
+  | Some c -> Printf.sprintf "%s churn=%s" base (churn_name c)
 
 (* Manifest (de)serialization for the regression harness: every simbench
    suite entry is a set of overrides applied to [default] (or to a
@@ -108,9 +132,100 @@ let key_dist_of_json = function
       raise
         (Json.Type_error ("key_dist must be \"uniform\" or {\"zipf\": theta}, got " ^ Json.type_name j))
 
+let churn_to_json = function
+  | Rolling_restart { first_ns; every_ns; down_ns } ->
+      Json.Assoc
+        [
+          ("plan", Json.String "rolling");
+          ("first_ns", Json.Int first_ns);
+          ("every_ns", Json.Int every_ns);
+          ("down_ns", Json.Int down_ns);
+        ]
+  | Resize { at_ns; keep; down_ns } ->
+      Json.Assoc
+        [
+          ("plan", Json.String "resize");
+          ("at_ns", Json.Int at_ns);
+          ("keep", Json.Int keep);
+          ("down_ns", Json.Int down_ns);
+        ]
+  | Failover { at_ns; socket; down_ns } ->
+      Json.Assoc
+        [
+          ("plan", Json.String "failover");
+          ("at_ns", Json.Int at_ns);
+          ("socket", Json.Int socket);
+          ("down_ns", Json.Int down_ns);
+        ]
+
+let churn_of_json j =
+  let int k = Json.to_int (Json.member k j) in
+  match Json.to_string (Json.member "plan" j) with
+  | "rolling" ->
+      Rolling_restart { first_ns = int "first_ns"; every_ns = int "every_ns"; down_ns = int "down_ns" }
+  | "resize" -> Resize { at_ns = int "at_ns"; keep = int "keep"; down_ns = int "down_ns" }
+  | "failover" -> Failover { at_ns = int "at_ns"; socket = int "socket"; down_ns = int "down_ns" }
+  | other -> failwith (Printf.sprintf "unknown churn plan %S (rolling|resize|failover)" other)
+
+(* CLI spec strings, e.g. "rolling:2000000:1000000:500000". *)
+let churn_spec_usage =
+  "rolling:FIRST_NS:EVERY_NS:DOWN_NS | resize:AT_NS:KEEP:DOWN_NS | \
+   failover:AT_NS:SOCKET:DOWN_NS (times are virtual ns from the start of the \
+   measured window; DOWN_NS < 0 = never respawn)"
+
+let churn_of_spec spec =
+  let fail () =
+    failwith (Printf.sprintf "bad churn spec %S; expected %s" spec churn_spec_usage)
+  in
+  match String.split_on_char ':' spec with
+  | [ plan; a; b; c ] -> (
+      let int s = match int_of_string_opt s with Some v -> v | None -> fail () in
+      match plan with
+      | "rolling" -> Rolling_restart { first_ns = int a; every_ns = int b; down_ns = int c }
+      | "resize" -> Resize { at_ns = int a; keep = int b; down_ns = int c }
+      | "failover" -> Failover { at_ns = int a; socket = int b; down_ns = int c }
+      | _ -> fail ())
+  | _ -> fail ()
+
+(* Expand the plan into per-tid (retire, respawn) offsets relative to the
+   start of the measured window; [max_int] = never. The schedule is a pure
+   function of the config, so every worker, shard and queue sees the same
+   one — churn determinism rests on this. *)
+let churn_schedule cfg =
+  match cfg.churn with
+  | None -> None
+  | Some plan ->
+      let n = cfg.threads in
+      let retire_at = Array.make n max_int in
+      let respawn_at = Array.make n max_int in
+      let plan_thread tid at down =
+        if at >= 0 then begin
+          retire_at.(tid) <- at;
+          if down >= 0 then respawn_at.(tid) <- at + down
+        end
+      in
+      (match plan with
+      | Rolling_restart { first_ns; every_ns; down_ns } ->
+          for tid = 0 to n - 1 do
+            plan_thread tid (first_ns + (tid * every_ns)) down_ns
+          done
+      | Resize { at_ns; keep; down_ns } ->
+          for tid = max 0 keep to n - 1 do
+            plan_thread tid at_ns down_ns
+          done
+      | Failover { at_ns; socket; down_ns } ->
+          for tid = 0 to n - 1 do
+            if Topology.socket_of_thread cfg.topology tid = socket then
+              plan_thread tid at_ns down_ns
+          done);
+      Some (retire_at, respawn_at)
+
 let to_json cfg =
+  let churn_field =
+    match cfg.churn with None -> [] | Some c -> [ ("churn", churn_to_json c) ]
+  in
   Json.Assoc
-    [
+    ([
       ("ds", Json.String cfg.ds);
       ("smr", Json.String cfg.smr);
       ("alloc", Json.String cfg.alloc);
@@ -133,6 +248,7 @@ let to_json cfg =
       ("buffer_size", Json.Int cfg.buffer_size);
       ("debra_check_every", Json.Int cfg.debra_check_every);
     ]
+    @ churn_field)
 
 let of_json ?(base = default) j =
   let apply cfg (key, v) =
@@ -162,6 +278,7 @@ let of_json ?(base = default) j =
     | "token_period" -> { cfg with token_period = Json.to_int v }
     | "buffer_size" -> { cfg with buffer_size = Json.to_int v }
     | "debra_check_every" -> { cfg with debra_check_every = Json.to_int v }
+    | "churn" -> { cfg with churn = Some (churn_of_json v) }
     | other -> failwith (Printf.sprintf "unknown config field %S" other)
   in
   match List.fold_left apply base (Json.to_assoc j) with

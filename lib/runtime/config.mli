@@ -9,6 +9,20 @@ open Simcore
 (** Key-access distribution of the workload. *)
 type key_dist = Uniform | Zipf of float  (** skew exponent, e.g. [Zipf 0.99] *)
 
+(** Thread-churn plan: which threads retire during the measured window,
+    when, and whether they come back. All times are virtual ns relative to
+    the start of the measured window; [down_ns < 0] means never respawn. *)
+type churn =
+  | Rolling_restart of { first_ns : int; every_ns : int; down_ns : int }
+      (** thread [tid] retires at [first_ns + tid * every_ns] *)
+  | Resize of { at_ns : int; keep : int; down_ns : int }
+      (** threads [keep..n-1] all retire at [at_ns] *)
+  | Failover of { at_ns : int; socket : int; down_ns : int }
+      (** every thread pinned to [socket] retires at [at_ns] *)
+
+val churn_name : churn -> string
+(** ["rolling"], ["resize"] or ["failover"]. *)
+
 type t = {
   ds : string;  (** data structure; see {!Ds.Ds_registry.names} *)
   smr : string;  (** reclaimer; an ["_af"] suffix selects amortized freeing *)
@@ -48,12 +62,30 @@ type t = {
           {!Simcore.Sched.default_epsilon} (0 = exact). Relaxed results
           are digest-distinct and gated statistically, so this is run
           infrastructure, never manifest-expressible *)
+  churn : churn option;
+      (** thread-churn plan; [None] = static population (all pre-churn
+          behaviour, labels and manifests unchanged) *)
 }
 
 val default : t
 
 val label : t -> string
-(** One-line description, e.g. ["abtree/debra/jemalloc n=192"]. *)
+(** One-line description, e.g. ["abtree/debra/jemalloc n=192"]; a churn
+    plan appends [" churn=<name>"]. *)
+
+val churn_spec_usage : string
+(** Human-readable grammar of {!churn_of_spec} strings, for CLI help. *)
+
+val churn_of_spec : string -> churn
+(** Parse a CLI spec such as ["rolling:2000000:1000000:500000"]
+    (see {!churn_spec_usage}).
+    @raise Failure on a malformed spec, quoting the grammar. *)
+
+val churn_schedule : t -> (int array * int array) option
+(** Expand the plan into per-tid [(retire, respawn)] offsets relative to
+    the start of the measured window; [max_int] = never. A pure function
+    of the config, so every worker, shard and queue derives the same
+    schedule — churn determinism rests on this. *)
 
 (** {1 Manifest serialization}
 

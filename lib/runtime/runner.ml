@@ -127,6 +127,19 @@ let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
   Array.iter
     (fun (th : Sched.thread) ->
       let tid = th.Sched.tid in
+      (* Teardown chain for churn retirements, in run order: tell the
+         validator the thread is quiescent, deregister from the reclaimer
+         (token handoff, slot release, bag adoption), free the AF backlog
+         (no more ticks will drain it), and flush the allocator caches —
+         the death flush, the RBF burst this PR measures. *)
+      Sched.on_teardown th (fun th ->
+          match safety with
+          | Some s -> Smr.Safety.note_quiescent s ~tid:th.Sched.tid
+          | None -> ());
+      Sched.on_teardown th (fun th -> smr.Smr.Smr_intf.on_thread_exit th);
+      Sched.on_teardown th (fun th ->
+          ignore (Smr.Free_policy.drain_all policy th : int));
+      Sched.on_teardown th (fun th -> alloc.Alloc.Alloc_intf.thread_exit th);
       th.Sched.hooks.Sched.on_epoch_garbage <-
         (fun ~epoch ~count -> note_garbage garbage ~epoch ~count);
       (match tl_reclaim with
@@ -150,11 +163,54 @@ let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
           | None -> ()))
     (Sched.threads sched);
   let state = { arrived = 0; measure_start = max_int; deadline = max_int } in
+  (* Per-tid churn offsets relative to the measured window; [max_int] =
+     never. One retirement per tid per trial, flagged in [churned]. *)
+  let retire_off, respawn_off =
+    match Config.churn_schedule cfg with
+    | Some (r, s) -> (r, s)
+    | None -> (Array.make n max_int, Array.make n max_int)
+  in
+  let churned = Array.make n false in
   (* Prefill quota: [key_range / 2] successful inserts, split over threads,
      so the structure starts a trial at its steady-state size. *)
   let target = cfg.Config.key_range / 2 in
   let quota tid = (target / n) + (if tid < target mod n then 1 else 0) in
   let snaps = Array.make n None in
+  let rec stint (th : Sched.thread) =
+    let tid = th.Sched.tid in
+    let live = ref true in
+    while !live && Sched.now th < state.deadline do
+      if
+        snaps.(tid) = None
+        && state.measure_start < max_int
+        && Sched.now th >= state.measure_start
+      then begin
+        snaps.(tid) <- Some (Metrics.copy th.Sched.metrics);
+        Tracer.instant tracer Tracer.Measure_start ~tid ~ts:(Sched.now th) ~a:0 ~b:0
+      end;
+      if
+        (not churned.(tid))
+        && retire_off.(tid) < max_int
+        && state.measure_start < max_int
+        && Sched.now th >= state.measure_start + retire_off.(tid)
+      then begin
+        churned.(tid) <- true;
+        Sched.retire sched ~tid;
+        if respawn_off.(tid) < max_int then begin
+          (* Teardown work may already have pushed the clock past the
+             planned respawn time; come back as soon as possible then. *)
+          let at = max (state.measure_start + respawn_off.(tid)) (Sched.now th) in
+          Sched.respawn sched ~tid ~at stint
+        end;
+        live := false
+      end
+      else do_op cfg smr ds safety per_node_scaled sample th
+    done;
+    if !live then
+      match safety with
+      | Some s -> Smr.Safety.note_quiescent s ~tid
+      | None -> ()
+  in
   let body (th : Sched.thread) =
     let tid = th.Sched.tid in
     (* Phase 1: prefill. *)
@@ -180,21 +236,12 @@ let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
       state.deadline <- state.measure_start + cfg.Config.duration_ns;
       Sched.set_hard_deadline sched (state.deadline + cfg.Config.grace_ns)
     end;
-    (* Phase 2: the measured workload. *)
-    while Sched.now th < state.deadline do
-      if
-        snaps.(tid) = None
-        && state.measure_start < max_int
-        && Sched.now th >= state.measure_start
-      then begin
-        snaps.(tid) <- Some (Metrics.copy th.Sched.metrics);
-        Tracer.instant tracer Tracer.Measure_start ~tid ~ts:(Sched.now th) ~a:0 ~b:0
-      end;
-      do_op cfg smr ds safety per_node_scaled sample th
-    done;
-    match safety with
-    | Some s -> Smr.Safety.note_quiescent s ~tid
-    | None -> ()
+    (* Phase 2: the measured workload, in stints: a stint ends at the
+       deadline or at the thread's scheduled retirement, whichever comes
+       first. Retirement runs the teardown chain from this coroutine (hooks
+       may take locks, i.e. suspend) and, under a respawn plan, re-enters
+       [stint] as the respawned body. *)
+    stint th
   in
   Array.iter (fun th -> Sched.spawn sched th body) (Sched.threads sched);
   Sched.run_until sched;
@@ -248,6 +295,9 @@ let run_trial ?(tracer = Tracer.disabled) (cfg : Config.t) ~seed =
     remote_frees = agg.Metrics.remote_frees;
     flushes = agg.Metrics.flushes;
     end_garbage = smr.Smr.Smr_intf.total_garbage ();
+    thread_spawns = agg.Metrics.thread_spawns;
+    thread_retires = agg.Metrics.thread_retires;
+    teardown_frees = agg.Metrics.teardown_frees;
     pct_free = Metrics.pct_free agg;
     pct_flush = Metrics.pct_flush agg;
     pct_lock = Metrics.pct_lock agg;

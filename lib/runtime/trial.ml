@@ -20,6 +20,10 @@ type t = {
   remote_frees : int;
   flushes : int;
   end_garbage : int;  (* unreclaimed objects when the trial ended *)
+  (* thread churn (all zero — and absent from the JSON — without a plan) *)
+  thread_spawns : int;  (* mid-trial (re)joins in the window *)
+  thread_retires : int;  (* thread retirements in the window *)
+  teardown_frees : int;  (* objects flushed out of dying threads' caches *)
   (* perf-style breakdown over the measured window *)
   pct_free : float;
   pct_flush : float;
@@ -89,8 +93,19 @@ let hist_of_json j =
     (List.map pair (Json.to_list (Json.member "buckets" j)))
 
 let to_json t =
+  (* Churn counters serialize only when churn actually happened, so every
+     pre-churn baseline stays byte-identical. *)
+  let churn_fields =
+    if t.thread_spawns = 0 && t.thread_retires = 0 && t.teardown_frees = 0 then []
+    else
+      [
+        ("thread_spawns", Json.Int t.thread_spawns);
+        ("thread_retires", Json.Int t.thread_retires);
+        ("teardown_frees", Json.Int t.teardown_frees);
+      ]
+  in
   Json.Assoc
-    [
+    ([
       ("config_label", Json.String t.config_label);
       ("seed", Json.Int t.seed);
       ("throughput", Json.Float t.throughput);
@@ -121,10 +136,12 @@ let to_json t =
       ("deadline", Json.Int t.deadline);
       ("violations", Json.Int t.violations);
     ]
+    @ churn_fields)
 
 let of_json j =
   let int name = Json.to_int (Json.member name j) in
   let flt name = Json.to_float (Json.member name j) in
+  let int0 name = match Json.member name j with Json.Null -> 0 | v -> Json.to_int v in
   {
     config_label = Json.to_string (Json.member "config_label" j);
     seed = int "seed";
@@ -141,6 +158,9 @@ let of_json j =
     remote_frees = int "remote_frees";
     flushes = int "flushes";
     end_garbage = int "end_garbage";
+    thread_spawns = int0 "thread_spawns";
+    thread_retires = int0 "thread_retires";
+    teardown_frees = int0 "teardown_frees";
     pct_free = flt "pct_free";
     pct_flush = flt "pct_flush";
     pct_lock = flt "pct_lock";

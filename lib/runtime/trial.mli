@@ -18,6 +18,11 @@ type t = {
   remote_frees : int;
   flushes : int;
   end_garbage : int;  (** unreclaimed objects when the trial ended *)
+  thread_spawns : int;  (** mid-trial (re)joins in the window (churn) *)
+  thread_retires : int;  (** thread retirements in the window (churn) *)
+  teardown_frees : int;
+      (** objects flushed out of dying threads' caches; all three churn
+          counters are zero — and absent from the JSON — without a plan *)
   pct_free : float;  (** perf-style inclusive shares of the window *)
   pct_flush : float;
   pct_lock : float;

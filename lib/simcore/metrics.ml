@@ -36,6 +36,9 @@ type t = {
   mutable hp_scans : int;  (* hazard-pointer retire-list scans *)
   mutable hp_protect_retries : int;  (* protect/validate loops that had to retry *)
   mutable max_retired : int;  (* high-water mark of any per-thread retire list *)
+  mutable thread_spawns : int;  (* threads that (re)joined the population mid-trial *)
+  mutable thread_retires : int;  (* threads that retired mid-trial *)
+  mutable teardown_frees : int;  (* objects moved out of dying threads' caches *)
   free_call_hist : Histogram.t;  (* latency of individual free calls *)
   op_hist : Histogram.t;  (* virtual latency of whole operations *)
 }
@@ -68,6 +71,9 @@ let create () =
     hp_scans = 0;
     hp_protect_retries = 0;
     max_retired = 0;
+    thread_spawns = 0;
+    thread_retires = 0;
+    teardown_frees = 0;
     free_call_hist = Histogram.create ();
     op_hist = Histogram.create ();
   }
@@ -114,6 +120,9 @@ let merge into t =
   into.hp_scans <- into.hp_scans + t.hp_scans;
   into.hp_protect_retries <- into.hp_protect_retries + t.hp_protect_retries;
   into.max_retired <- max into.max_retired t.max_retired;
+  into.thread_spawns <- into.thread_spawns + t.thread_spawns;
+  into.thread_retires <- into.thread_retires + t.thread_retires;
+  into.teardown_frees <- into.teardown_frees + t.teardown_frees;
   Histogram.merge into.free_call_hist t.free_call_hist;
   Histogram.merge into.op_hist t.op_hist
 
@@ -150,6 +159,9 @@ let diff ~before ~after =
     epsilon_syncs = after.epsilon_syncs - before.epsilon_syncs;
     hp_scans = after.hp_scans - before.hp_scans;
     hp_protect_retries = after.hp_protect_retries - before.hp_protect_retries;
+    thread_spawns = after.thread_spawns - before.thread_spawns;
+    thread_retires = after.thread_retires - before.thread_retires;
+    teardown_frees = after.teardown_frees - before.teardown_frees;
     (* A high-water mark cannot be windowed: the [after] value is the whole
        run's maximum, which is the honest upper bound for any window. *)
     max_skew_ns = after.max_skew_ns;

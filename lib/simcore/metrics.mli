@@ -54,6 +54,11 @@ type t = {
       (** high-water mark of any per-thread retire list; merged with [max],
           not summed, and not windowable by {!diff} (the [after] value is
           kept) *)
+  mutable thread_spawns : int;
+      (** threads that (re)joined the population mid-trial (churn) *)
+  mutable thread_retires : int;  (** threads that retired mid-trial (churn) *)
+  mutable teardown_frees : int;
+      (** objects moved out of dying threads' caches by teardown flushes *)
   free_call_hist : Histogram.t;  (** latency of individual free calls *)
   op_hist : Histogram.t;  (** virtual latency of whole operations *)
 }

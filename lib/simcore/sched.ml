@@ -58,6 +58,11 @@ and thread = {
       (* relaxed dispatch: a hard sync boundary was crossed — this thread's
          next dispatch must be exact-order (no epsilon run-ahead) *)
   mutable resume_task : task;  (* this thread's [Resume], allocated once *)
+  mutable alive : bool;  (* false between [retire] and the next respawn *)
+  mutable spawn_pending : bool;  (* a [respawn] event is enqueued but not yet run *)
+  mutable teardown : (thread -> unit) list;
+      (* teardown hooks, run by [retire] in registration order; persistent
+         across retire/respawn cycles *)
 }
 
 and t = {
@@ -194,6 +199,9 @@ let create ?(cost = Cost_model.default) ?event_queue ?shards ?epsilon ~topology 
         suspended = false;
         sync_required = false;
         resume_task = Run ignore;
+        alive = true;
+        spawn_pending = false;
+        teardown = [];
       }
     in
     th.resume_task <- Resume th;
@@ -465,6 +473,66 @@ let spawn sched th body =
       }
   in
   enqueue sched ~shard:th.shard ~key:th.clock (Run handled)
+
+(* -- thread lifecycle (churn) -------------------------------------------- *)
+
+let on_teardown th f = th.teardown <- f :: th.teardown
+
+(* Retire thread [tid]: mark it dead, then run its teardown hook chain in
+   registration order. [alive] flips *before* the hooks so that protocol
+   code consulted during teardown (token passing, epoch scans, orphan
+   adoption) already sees the thread as departed — otherwise a concurrent
+   participant could hand the token to a half-dead thread and stall the
+   ring. Teardown hooks run on the calling coroutine and may charge
+   virtual time (and even suspend on bin locks), so retirement is
+   cooperative: the runner calls this from the retiring thread's own body
+   at an operation boundary. The guards below are the churn analogue of
+   [Sched.wait]'s negative-duration check: a bogus retire must fail loudly
+   instead of corrupting the event queue with a dead thread's resume. *)
+let retire sched ~tid =
+  if tid < 0 || tid >= sched.n_threads then
+    failwith
+      (Printf.sprintf "Sched.retire: unknown tid %d (threads are 0..%d)" tid
+         (sched.n_threads - 1));
+  let th = sched.threads.(tid) in
+  if not th.alive then failwith (Printf.sprintf "Sched.retire: thread %d is already retired" tid);
+  th.alive <- false;
+  th.metrics.Metrics.thread_retires <- th.metrics.Metrics.thread_retires + 1;
+  if Tracer.enabled sched.tracer then
+    Tracer.instant sched.tracer Tracer.Thread_retire ~tid ~ts:th.clock ~a:0 ~b:0;
+  List.iter (fun f -> f th) (List.rev th.teardown)
+
+(* Re-spawn a retired thread at virtual time [at] (>= its clock). The
+   downtime is charged as idle immediately — the thread's clock equals
+   [at] when the spawn event pops, and dispatch order stays a pure
+   function of (key, seq), so respawns are deterministic across shard
+   counts and queue kinds. [spawn_pending] guards against enqueuing two
+   coroutines for one thread. *)
+let respawn sched ~tid ~at body =
+  if tid < 0 || tid >= sched.n_threads then
+    failwith
+      (Printf.sprintf "Sched.respawn: unknown tid %d (threads are 0..%d)" tid
+         (sched.n_threads - 1));
+  let th = sched.threads.(tid) in
+  if th.alive then failwith (Printf.sprintf "Sched.respawn: thread %d is still alive" tid);
+  if th.spawn_pending then
+    failwith (Printf.sprintf "Sched.respawn: thread %d already has a respawn scheduled" tid);
+  if at < th.clock then
+    failwith
+      (Printf.sprintf "Sched.respawn: thread %d spawn time %d is before its clock %d" tid at
+         th.clock);
+  th.spawn_pending <- true;
+  wait th Metrics.Idle (at - th.clock);
+  spawn sched th (fun th ->
+      th.spawn_pending <- false;
+      th.alive <- true;
+      th.metrics.Metrics.thread_spawns <- th.metrics.Metrics.thread_spawns + 1;
+      if Tracer.enabled sched.tracer then begin
+        (* The downtime was descheduled, not Run: skip the Run cursor. *)
+        Tracer.advance_run sched.tracer ~tid ~now:th.clock;
+        Tracer.instant sched.tracer Tracer.Thread_spawn ~tid ~ts:th.clock ~a:0 ~b:0
+      end;
+      body th)
 
 let exec = function
   | Run f -> f ()

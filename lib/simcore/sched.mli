@@ -51,6 +51,13 @@ and thread = {
       (** relaxed dispatch only: a hard sync boundary was crossed, so this
           thread's next dispatch must be exact-order (see {!sync_boundary}) *)
   mutable resume_task : task;  (** this thread's resume cell, allocated once *)
+  mutable alive : bool;  (** false between {!retire} and the next {!respawn} *)
+  mutable spawn_pending : bool;
+      (** a {!respawn} event is enqueued but has not executed yet *)
+  mutable teardown : (thread -> unit) list;
+      (** teardown hooks (see {!on_teardown}); registration order is
+          recovered by {!retire}, and the list persists across
+          retire/respawn cycles *)
 }
 
 and t
@@ -206,6 +213,33 @@ val ready : thread -> unit
 
 val spawn : t -> thread -> (thread -> unit) -> unit
 (** Schedule [body] to run on [thread] at its current clock. *)
+
+val on_teardown : thread -> (thread -> unit) -> unit
+(** Register a teardown hook, run by {!retire} in registration order. The
+    runner registers the SMR deregistration and allocator cache-teardown
+    chain here. Hooks persist across retire/respawn cycles, so a thread
+    that churns repeatedly tears down the same way every time. *)
+
+val retire : t -> tid:int -> unit
+(** Retire thread [tid] mid-trial: mark it dead (so token passing, epoch
+    scans and orphan adoption skip it immediately), count one
+    [thread_retires], trace a [Thread_retire] instant, and run the
+    teardown hook chain. Retirement is {e cooperative}: teardown hooks
+    charge virtual time and may suspend on locks, so this must be called
+    from the retiring thread's own coroutine at an operation boundary —
+    the runner checks each thread's churn deadline between operations.
+    @raise Failure (descriptively) on an unknown or already-retired tid,
+    instead of corrupting the event queue with a dead thread's resume. *)
+
+val respawn : t -> tid:int -> at:int -> (thread -> unit) -> unit
+(** Schedule a retired thread to rejoin at virtual time [at]: its downtime
+    is charged as idle up front (the clock reads [at] when the spawn event
+    pops), and the spawn event dispatches through the normal queues, so
+    respawns are bit-identical across shard counts, queue kinds and host
+    [-j]. The body runs cold: caches and SMR slots were torn down at
+    retirement. Counts one [thread_spawns] and traces [Thread_spawn].
+    @raise Failure on an unknown tid, a tid that is still alive, a respawn
+    already scheduled for this tid, or [at] before the thread's clock. *)
 
 val run : t -> unit
 (** Run until no runnable thread remains. *)

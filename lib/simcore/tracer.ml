@@ -55,6 +55,10 @@ type kind =
                        bound; a = skew ns past the bound, b = shard index *)
   | Epsilon_sync  (* instant: a hard sync boundary armed under relaxed dispatch;
                      a = boundary kind (1 lock, 2 epoch advance, 3 remote free) *)
+  | Thread_spawn  (* instant: a thread (re)joined the population mid-trial *)
+  | Thread_retire  (* instant: a thread retired; its teardown chain follows *)
+  | Teardown_flush  (* span: one teardown cache flush / adoption pass;
+                       a = objects moved out of the dying thread's caches *)
 
 let code = function
   | Run -> 0
@@ -82,6 +86,9 @@ let code = function
   | Hp_scan -> 22
   | Epsilon_window -> 23
   | Epsilon_sync -> 24
+  | Thread_spawn -> 25
+  | Thread_retire -> 26
+  | Teardown_flush -> 27
 
 let of_code = function
   | 0 -> Run
@@ -109,6 +116,9 @@ let of_code = function
   | 22 -> Hp_scan
   | 23 -> Epsilon_window
   | 24 -> Epsilon_sync
+  | 25 -> Thread_spawn
+  | 26 -> Thread_retire
+  | 27 -> Teardown_flush
   | _ -> invalid_arg "Tracer.of_code: unknown kind"
 
 let kind_name = function
@@ -137,6 +147,9 @@ let kind_name = function
   | Hp_scan -> "hp_scan"
   | Epsilon_window -> "epsilon_window"
   | Epsilon_sync -> "epsilon_sync"
+  | Thread_spawn -> "thread_spawn"
+  | Thread_retire -> "thread_retire"
+  | Teardown_flush -> "teardown_flush"
 
 type t = {
   enabled : bool;

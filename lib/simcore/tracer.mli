@@ -50,7 +50,13 @@
       past the bound (its maximum is [max_skew_ns]), [b] = shard index.
       [Epsilon_sync]: instant when a hard sync boundary was armed under
       relaxed dispatch (the [epsilon_syncs] counter), [a] = boundary kind
-      (1 lock acquire/handoff, 2 epoch advance, 3 remote free/flush). *)
+      (1 lock acquire/handoff, 2 epoch advance, 3 remote free/flush).
+    - [Thread_spawn]: instant when a thread (re)joins the population
+      mid-trial (the [thread_spawns] counter). [Thread_retire]: instant
+      when a thread retires, emitted before its teardown hook chain runs
+      (the [thread_retires] counter). [Teardown_flush]: span of one
+      teardown flush/adoption pass, [a] = objects moved out of the dying
+      thread's caches (summed into the [teardown_frees] counter). *)
 type kind =
   | Run
   | Stall
@@ -77,6 +83,9 @@ type kind =
   | Hp_scan
   | Epsilon_window
   | Epsilon_sync
+  | Thread_spawn
+  | Thread_retire
+  | Teardown_flush
 
 val code : kind -> int
 val of_code : int -> kind

@@ -37,6 +37,10 @@ type t = {
   hp_scan_ns : int;
   hp_freed : int;
   hp_protect_retries : int;
+  thread_spawns : int;
+  thread_retires : int;
+  teardown_frees : int;
+  teardown_ns : int;
   locks : lock_stat list;
   max_epoch_gap_ns : int;
   peak_epoch_garbage : int;
@@ -99,6 +103,10 @@ let of_tracer tr =
   and hp_scan_ns = ref 0
   and hp_freed = ref 0
   and hp_protect_retries = ref 0
+  and thread_spawns = ref 0
+  and thread_retires = ref 0
+  and teardown_frees = ref 0
+  and teardown_ns = ref 0
   and peak_garbage = ref 0 in
   let locks : (int, lock_acc) Hashtbl.t = Hashtbl.create 8 in
   let lock_acc id =
@@ -153,6 +161,11 @@ let of_tracer tr =
             hp_scan_ns := !hp_scan_ns + e.Tracer.dur;
             hp_freed := !hp_freed + e.Tracer.a
         | Tracer.Hp_protect -> hp_protect_retries := !hp_protect_retries + e.Tracer.a
+        | Tracer.Thread_spawn -> incr thread_spawns
+        | Tracer.Thread_retire -> incr thread_retires
+        | Tracer.Teardown_flush ->
+            teardown_frees := !teardown_frees + e.Tracer.a;
+            teardown_ns := !teardown_ns + e.Tracer.dur
         | _ -> ()
       end)
     evs;
@@ -208,6 +221,10 @@ let of_tracer tr =
     hp_scan_ns = !hp_scan_ns;
     hp_freed = !hp_freed;
     hp_protect_retries = !hp_protect_retries;
+    thread_spawns = !thread_spawns;
+    thread_retires = !thread_retires;
+    teardown_frees = !teardown_frees;
+    teardown_ns = !teardown_ns;
     locks = lock_stats;
     max_epoch_gap_ns;
     peak_epoch_garbage = !peak_garbage;
@@ -238,6 +255,9 @@ let pp ppf p =
   if p.hp_scans > 0 || p.hp_protect_retries > 0 then
     Fmt.pf ppf "@,hazard scans %d (%.3f ms, %d objects reclaimable), protect retries %d"
       p.hp_scans (ms p.hp_scan_ns) p.hp_freed p.hp_protect_retries;
+  if p.thread_retires > 0 || p.thread_spawns > 0 then
+    Fmt.pf ppf "@,thread churn: %d retires, %d respawns, %d objects death-flushed (%.3f ms)"
+      p.thread_retires p.thread_spawns p.teardown_frees (ms p.teardown_ns);
   Fmt.pf ppf "@,longest epoch stall %.3f ms, peak epoch garbage %d" (ms p.max_epoch_gap_ns)
     p.peak_epoch_garbage;
   if p.locks <> [] then begin
@@ -281,6 +301,10 @@ let to_json p =
       ("hp_scan_ns", Json.Int p.hp_scan_ns);
       ("hp_freed", Json.Int p.hp_freed);
       ("hp_protect_retries", Json.Int p.hp_protect_retries);
+      ("thread_spawns", Json.Int p.thread_spawns);
+      ("thread_retires", Json.Int p.thread_retires);
+      ("teardown_frees", Json.Int p.teardown_frees);
+      ("teardown_ns", Json.Int p.teardown_ns);
       ("max_epoch_gap_ns", Json.Int p.max_epoch_gap_ns);
       ("peak_epoch_garbage", Json.Int p.peak_epoch_garbage);
       ( "locks",

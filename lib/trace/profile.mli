@@ -53,6 +53,10 @@ type t = {
   hp_scan_ns : int;  (** inclusive time of those scans *)
   hp_freed : int;  (** objects those scans found reclaimable *)
   hp_protect_retries : int;  (** re-published hazard slots ([Hp_protect] instants) *)
+  thread_spawns : int;  (** [Thread_spawn] instants in window (churn respawns) *)
+  thread_retires : int;  (** [Thread_retire] instants in window *)
+  teardown_frees : int;  (** objects via [Teardown_flush] spans (death flushes) *)
+  teardown_ns : int;  (** inclusive time of those teardown flushes *)
   locks : lock_stat list;  (** sorted by [wait_ns + overhead_ns], largest first *)
   max_epoch_gap_ns : int;  (** longest interval between epoch advances *)
   peak_epoch_garbage : int;  (** max [Epoch_garbage] payload in window *)
